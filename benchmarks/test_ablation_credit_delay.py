@@ -1,0 +1,53 @@
+"""Ablation: credit-return delay vs the buffer-depth knee (Fig. 3b context).
+
+EXPERIMENTS.md documents one deviation from the paper: our buffer-size
+knee sits at q=2 where the paper's sat at q=4, because our credit loop is
+shorter than their router pipeline's.  This ablation demonstrates the
+mechanism directly: lengthening ``credit_delay`` moves the knee to deeper
+buffers, reproducing the paper's qualitative q sensitivity at q=4.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.config import NetworkConfig
+from repro.core.openloop import OpenLoopSimulator
+
+QS = (1, 2, 4, 8)
+CREDIT_DELAYS = (1, 4)
+OL = dict(warmup=250, measure=500, drain_limit=2500)
+
+
+def test_ablation_credit_delay(benchmark):
+    def run():
+        out = {}
+        for cd in CREDIT_DELAYS:
+            for q in QS:
+                cfg = NetworkConfig(vc_buffer_size=q, credit_delay=cd)
+                sim = OpenLoopSimulator(cfg, **OL)
+                out[cd, q] = sim.saturation_throughput(tolerance=0.02)
+        return out
+
+    out = once(benchmark, run)
+    rows = [[f"cd={cd}"] + [out[cd, q] for q in QS] for cd in CREDIT_DELAYS]
+    # knee = smallest q within 5% of the deep-buffer saturation
+    knees = {}
+    for cd in CREDIT_DELAYS:
+        deep = out[cd, QS[-1]]
+        knees[cd] = next(q for q in QS if out[cd, q] >= 0.95 * deep)
+    text = format_table(
+        ["credit_delay"] + [f"q={q}" for q in QS],
+        rows,
+        title="Ablation - saturation throughput vs buffer depth and credit delay",
+    ) + (
+        f"\nbuffer knee (95% of deep-buffer throughput): cd=1 -> q={knees[1]}, "
+        f"cd=4 -> q={knees[4]}\n"
+        "a longer credit loop starves shallower buffers - the paper's q=4 "
+        "knee implies its router pipeline + credit path was ~5-6 cycles"
+    )
+    emit("ablation_credit_delay", text)
+    assert knees[4] > knees[1]
+    # with cd=4, q=4 is measurably below deep buffers (the paper's regime)
+    assert out[4, 4] < 0.97 * out[4, 8]

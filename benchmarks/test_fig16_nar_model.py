@@ -1,0 +1,66 @@
+"""Figure 16: the batch model with the enhanced (NAR) injection model.
+
+Paper: as NAR falls, the impact of router delay on runtime shrinks; at
+NAR = 1 the baseline batch model is recovered.  Notably, at large m and
+small NAR the workload is not communication-limited, so tr has minimal
+impact even though it raises packet latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.config import NetworkConfig
+from repro.core.closedloop import BatchSimulator
+
+NARS = (0.04, 0.12, 0.2, 0.36, 1.0)
+TRS = (1, 2, 4)
+MS = (1, 4, 16)
+B = 100
+
+
+def test_fig16_nar_model(benchmark):
+    def run():
+        out = {}
+        for m in MS:
+            for nar in NARS:
+                for tr in TRS:
+                    cfg = NetworkConfig(router_delay=tr)
+                    res = BatchSimulator(
+                        cfg, batch_size=B, max_outstanding=m, nar=nar
+                    ).run()
+                    out[m, nar, tr] = (res.runtime, res.throughput)
+        return out
+
+    out = once(benchmark, run)
+    sections = []
+    for m in MS:
+        rows = []
+        for nar in NARS:
+            base = out[m, nar, 1][0]
+            rows.append(
+                [nar]
+                + [out[m, nar, tr][0] / base for tr in TRS]
+                + [out[m, nar, tr][1] for tr in TRS]
+            )
+        sections.append(
+            format_table(
+                ["NAR"] + [f"T tr={tr}" for tr in TRS] + [f"theta tr={tr}" for tr in TRS],
+                rows,
+                precision=3,
+                title=f"Figure 16 (m={m}) - runtime normalized per-NAR to tr=1",
+            )
+        )
+    tr4 = lambda m, nar: out[m, nar, 4][0] / out[m, nar, 1][0]  # noqa: E731
+    text = "\n\n".join(sections) + (
+        f"\n\ntr=4/tr=1 ratio at m=16: NAR=1 {tr4(16, 1.0):.2f} vs NAR=0.04 "
+        f"{tr4(16, 0.04):.2f} (paper: low-NAR workloads are not "
+        f"communication-limited, router delay nearly free)"
+    )
+    emit("fig16_nar_model", text)
+    for m in MS:
+        assert tr4(m, 0.04) < tr4(m, 1.0) + 0.05
+    assert tr4(16, 0.04) == pytest.approx(1.0, abs=0.1)
+    assert tr4(1, 1.0) == pytest.approx(2.5, abs=0.4)

@@ -1,0 +1,65 @@
+"""Figure 21: blackscholes injection-rate timeline, 75 MHz vs 3 GHz.
+
+Paper: both clocks show big kernel bursts at program start and end (thread
+creation / teardown syscalls); the 75 MHz run additionally shows many small
+periodic peaks from timer interrupts (hundreds vs ~6 at 3 GHz).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import ascii_plot
+from repro.execdriven import KERNEL, USER
+
+
+def _series(res):
+    scale = res.timeline_bucket * 16  # flits/cycle (16 nodes aggregated)
+    user = res.timeline[USER] / res.timeline_bucket
+    kern = res.timeline[KERNEL] / res.timeline_bucket
+    t = np.arange(user.size) * res.timeline_bucket
+    return t, user, kern, scale
+
+
+def test_fig21_injection_timeline(benchmark, exec_results_3ghz, exec_results_75mhz):
+    def collect():
+        return exec_results_75mhz["blackscholes", 1], exec_results_3ghz["blackscholes", 1]
+
+    slow, fast = benchmark.pedantic(collect, rounds=1, iterations=1)
+    parts = []
+    for label, res in (("75 MHz", slow), ("3 GHz", fast)):
+        t, user, kern, _ = _series(res)
+        parts.append(
+            ascii_plot(
+                {
+                    "user": list(zip(t, user)),
+                    "kernel": list(zip(t, kern)),
+                },
+                width=70,
+                height=12,
+                title=f"Figure 21 - blackscholes injection rate, {label} "
+                f"({res.interrupts} timer interrupts)",
+                xlabel="cycle",
+                ylabel="flits/cycle (all nodes)",
+            )
+        )
+    text = "\n\n".join(parts) + (
+        f"\n\ntimer interrupts: 75MHz {slow.interrupts}, 3GHz "
+        f"{fast.interrupts} (paper: hundreds vs ~6)\n"
+        "kernel bursts at start and end come from the spawn/join syscall "
+        "phases (thread creation / synchronization)"
+    )
+    emit("fig21_injection_timeline", text)
+    assert slow.interrupts > 10 * max(fast.interrupts, 1)
+    # start/end kernel bursts (spawn/join syscalls) dominate the 3 GHz
+    # kernel timeline, where timer traffic is negligible; at 75 MHz the
+    # periodic timer peaks fill the middle of the run instead.
+    kern = fast.timeline[KERNEL].astype(float)
+    n = kern.size
+    edges = kern[: max(1, n // 5)].sum() + kern[-max(1, n // 5):].sum()
+    assert edges > 0.5 * kern.sum()
+    # and at 75 MHz kernel traffic persists through the middle of the run
+    mid = slow.timeline[KERNEL].astype(float)
+    m5 = max(1, mid.size // 5)
+    assert mid[m5:-m5].sum() > 0.3 * mid.sum()

@@ -1,0 +1,107 @@
+"""Full methodology loop: characterize a workload, derive batch-model
+parameters, and predict system performance — then check the prediction
+against the execution-driven simulator.
+
+This is the paper's SIV-D / SV parameter flow end to end:
+
+1. run the `canneal` surrogate on the *ideal* network to measure its NAR,
+   L2 miss rates, and kernel-traffic profile (Tables III/IV),
+2. feed those observables into the enhanced batch model
+   (NAR injection + probabilistic reply + OS extension),
+3. predict the runtime impact of doubling/quadrupling router delay,
+4. compare against the real execution-driven runs.
+
+Run:  python examples/cmp_system_study.py   (~1-2 minutes)
+"""
+
+from __future__ import annotations
+
+from repro import BatchSimulator
+from repro.analysis import format_table
+from repro.config import CmpConfig, NetworkConfig
+from repro.execdriven import (
+    TIMER_INTERVAL_3GHZ,
+    CmpSystem,
+    canneal,
+    characterize,
+    derive_batch_params,
+)
+
+INSTRUCTIONS = 8000
+TRS = (1, 2, 4, 8)
+
+
+def cmp_config(tr: int) -> CmpConfig:
+    return CmpConfig(
+        network=NetworkConfig(k=4, n=2, num_vcs=8, vc_buffer_size=4, router_delay=tr)
+    )
+
+
+def main() -> None:
+    spec = canneal(INSTRUCTIONS)
+
+    # 1. characterize on the ideal network
+    ch = characterize(spec, seed=2)
+    print(
+        f"characterization of {spec.name}: NAR {ch.nar:.3f} "
+        f"(user {ch.user_nar:.3f}), user L2 miss {ch.user_l2_miss:.2f}, "
+        f"kernel static fraction {ch.static_kernel_fraction:.2f}, "
+        f"ideal cycles {ch.ideal_cycles}\n"
+    )
+
+    # 2. derive enhanced batch-model parameters
+    params = derive_batch_params(ch, timer_rate=1.0 / TIMER_INTERVAL_3GHZ)
+    print(
+        f"derived batch parameters: nar={params['nar']:.4f}, reply model "
+        f"mean {params['reply_model'].mean:.0f} cycles, OS static "
+        f"{params['os_model'].static_fraction:.2f}\n"
+    )
+
+    # 3/4. predict with baseline + enhanced batch, measure with exec-driven
+    rows = []
+    base = {}
+    for tr in TRS:
+        net_cfg = cmp_config(tr).network
+        ba = BatchSimulator(net_cfg, batch_size=100, max_outstanding=1).run()
+        # in-order cores block on loads: effective MLP ~1, so the enhanced
+        # batch model runs at m=1 (see the paper's SII-B2 argument)
+        enh = BatchSimulator(
+            net_cfg,
+            batch_size=100,
+            max_outstanding=1,
+            nar=params["nar"],
+            reply_model=params["reply_model"],
+            os_model=params["os_model"],
+        ).run()
+        sysm = CmpSystem(
+            spec, cmp_config(tr), timer_interval=TIMER_INTERVAL_3GHZ, seed=2
+        ).run()
+        base[tr] = (ba.runtime, enh.runtime, sysm.cycles)
+        rows.append(
+            [
+                tr,
+                ba.runtime / base[1][0],
+                enh.runtime / base[1][1],
+                sysm.cycles / base[1][2],
+            ]
+        )
+    print(
+        format_table(
+            ["tr", "baseline batch", "enhanced batch", "exec-driven"],
+            rows,
+            precision=2,
+            title="normalized runtime vs router delay",
+        )
+    )
+    ba8, enh8, ex8 = (rows[-1][1], rows[-1][2], rows[-1][3])
+    print(
+        f"\nat tr=8: baseline batch predicts {ba8:.2f}x, enhanced batch "
+        f"{enh8:.2f}x, measured {ex8:.2f}x\n"
+        f"enhanced-model error {abs(enh8 - ex8) / ex8 * 100:.0f}% vs "
+        f"baseline error {abs(ba8 - ex8) / ex8 * 100:.0f}% "
+        "(the paper's SIV-D improvement, reproduced)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Kernel-traffic effects: why the OS matters for NoC evaluation (paper SV).
+
+Shows, for the blackscholes surrogate:
+
+1. the kernel share of network traffic at 75 MHz (Simics default) vs 3 GHz,
+2. the injection-rate timeline with its start/end syscall bursts and
+   periodic timer-interrupt peaks,
+3. how the OS-extended batch model changes the predicted router-delay
+   sensitivity at each clock.
+
+Run:  python examples/os_kernel_effects.py   (~1-2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BatchSimulator
+from repro.analysis import ascii_plot, format_table
+from repro.config import CmpConfig, NetworkConfig
+from repro.core.osmodel import OSModel
+from repro.execdriven import (
+    KERNEL,
+    TIMER_INTERVAL_3GHZ,
+    TIMER_INTERVAL_75MHZ,
+    USER,
+    CmpSystem,
+    blackscholes,
+    characterize,
+    derive_batch_params,
+)
+
+SPEC = blackscholes(8000)
+NET = NetworkConfig(k=4, n=2, num_vcs=8, vc_buffer_size=4)
+
+
+def main() -> None:
+    # 1-2: execution-driven kernel traffic at both clocks
+    for label, interval in (("75 MHz", TIMER_INTERVAL_75MHZ), ("3 GHz", TIMER_INTERVAL_3GHZ)):
+        res = CmpSystem(
+            SPEC, CmpConfig(network=NET), timer_interval=interval, seed=2
+        ).run()
+        t = np.arange(res.timeline.shape[1]) * res.timeline_bucket
+        print(
+            ascii_plot(
+                {
+                    "user": list(zip(t, res.timeline[USER] / res.timeline_bucket)),
+                    "kernel": list(zip(t, res.timeline[KERNEL] / res.timeline_bucket)),
+                },
+                width=70,
+                height=10,
+                title=f"{label}: injection rate over time "
+                f"({res.interrupts} timer interrupts, kernel share "
+                f"{res.kernel_fraction:.0%})",
+                xlabel="cycle",
+                ylabel="flits/cycle",
+            )
+        )
+        print()
+
+    # 3: the OS-extended batch model at each clock
+    ch = characterize(SPEC, seed=2)
+    rows = []
+    for label, interval in (("75 MHz", TIMER_INTERVAL_75MHZ), ("3 GHz", TIMER_INTERVAL_3GHZ)):
+        params = derive_batch_params(ch, timer_rate=1.0 / interval)
+        runtimes = {}
+        for tr in (1, 8):
+            cfg = NET.with_(router_delay=tr)
+            runtimes[tr] = BatchSimulator(
+                cfg,
+                batch_size=100,
+                max_outstanding=1,
+                nar=params["nar"],
+                reply_model=params["reply_model"],
+                os_model=params["os_model"],
+            ).run().runtime
+        rows.append([label, runtimes[1], runtimes[8], runtimes[8] / runtimes[1]])
+    print(
+        format_table(
+            ["clock", "T(tr=1)", "T(tr=8)", "ratio"],
+            rows,
+            precision=2,
+            title="OS-extended batch model: router-delay sensitivity by clock",
+        )
+    )
+    print(
+        "\nthe 75 MHz configuration injects ~40x more timer batches per "
+        "cycle, so kernel\ntraffic dominates and system behaviour changes - "
+        "the paper's warning about\nevaluating NoCs under the Simics default "
+        "clock (SV, Fig. 20-22)."
+    )
+
+
+if __name__ == "__main__":
+    main()

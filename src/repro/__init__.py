@@ -1,0 +1,38 @@
+"""repro — On-Chip Network Evaluation Framework (SC 2010 reproduction).
+
+A production-quality reimplementation of Kim, Heo, Lee, Huh & Kim,
+"On-Chip Network Evaluation Framework" (SC 2010): a cycle-level NoC
+simulator, open-loop and closed-loop (batch) measurement harnesses, the
+paper's enhanced injection / reply / OS-traffic models, an execution-driven
+CMP substrate, and the correlation methodology tying them together.
+
+Quick taste::
+
+    from repro import NetworkConfig, OpenLoopSimulator, BatchSimulator
+
+    cfg = NetworkConfig(k=8, n=2)          # 8x8 mesh, Table I baseline
+    ol = OpenLoopSimulator(cfg)
+    print(ol.run(injection_rate=0.1).avg_latency)
+
+    cl = BatchSimulator(cfg, batch_size=100, max_outstanding=4)
+    print(cl.run().runtime)
+"""
+
+from .config import CmpConfig, NetworkConfig
+from .core.closedloop import BatchResult, BatchSimulator
+from .core.openloop import OpenLoopResult, OpenLoopSimulator
+from .network import IdealNetwork, Network, Packet
+
+__all__ = [
+    "NetworkConfig",
+    "CmpConfig",
+    "Network",
+    "IdealNetwork",
+    "Packet",
+    "OpenLoopSimulator",
+    "OpenLoopResult",
+    "BatchSimulator",
+    "BatchResult",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,280 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Examples::
+
+    python -m repro openloop --rate 0.2
+    python -m repro sweep --rates 0.05,0.15,0.25,0.35,0.42
+    python -m repro saturation --topology torus --num-vcs 4
+    python -m repro batch -b 200 -m 4 --router-delay 2
+    python -m repro batch -b 100 -m 1 --nar 0.05 --reply prob:20:300:0.1
+    python -m repro cmp --benchmark lu --router-delay 4 --clock 75mhz
+    python -m repro characterize --benchmark all
+
+Every command accepts the network knobs of Table I (``--topology``,
+``--k``, ``--num-vcs``, ``--vc-buffer-size``, ``--router-delay``,
+``--routing``, ``--arbitration``, ``--traffic``, ``--packet-size``,
+``--seed``) and prints a plain-text result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .analysis import format_table
+from .config import CmpConfig, NetworkConfig
+from .core.barrier import BarrierSimulator
+from .core.closedloop import BatchSimulator
+from .core.openloop import OpenLoopSimulator
+from .core.reply import FixedReply, ImmediateReply, ProbabilisticReply, ReplyModel
+
+__all__ = ["main"]
+
+
+def _add_network_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--topology", default="mesh", choices=("mesh", "torus", "ring"))
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--n", type=int, default=2)
+    p.add_argument("--num-vcs", type=int, default=2)
+    p.add_argument("--vc-buffer-size", "-q", type=int, default=4)
+    p.add_argument("--router-delay", "--tr", type=int, default=1)
+    p.add_argument("--routing", default="dor", choices=("dor", "val", "ma", "romm"))
+    p.add_argument("--arbitration", default="round_robin", choices=("round_robin", "age"))
+    p.add_argument(
+        "--traffic",
+        default="uniform_random",
+        choices=(
+            "uniform_random",
+            "transpose",
+            "bit_complement",
+            "bit_reversal",
+            "neighbor",
+            "tornado",
+            "hotspot",
+        ),
+    )
+    p.add_argument("--packet-size", default="single", choices=("single", "bimodal"))
+    p.add_argument("--seed", type=int, default=1)
+
+
+def _network_config(args: argparse.Namespace) -> NetworkConfig:
+    return NetworkConfig(
+        topology=args.topology,
+        k=args.k,
+        n=args.n,
+        num_vcs=args.num_vcs,
+        vc_buffer_size=args.vc_buffer_size,
+        router_delay=args.router_delay,
+        routing=args.routing,
+        arbitration=args.arbitration,
+        traffic=args.traffic,
+        packet_size=args.packet_size,
+        seed=args.seed,
+    )
+
+
+def _parse_reply(spec: str) -> ReplyModel:
+    """Parse ``immediate``, ``fixed:<L>`` or ``prob:<l2>:<mem>:<missrate>``."""
+    parts = spec.split(":")
+    if parts[0] == "immediate":
+        return ImmediateReply()
+    if parts[0] == "fixed":
+        return FixedReply(int(parts[1]))
+    if parts[0] == "prob":
+        return ProbabilisticReply(int(parts[1]), int(parts[2]), float(parts[3]))
+    raise argparse.ArgumentTypeError(f"bad reply model {spec!r}")
+
+
+def _cmd_openloop(args) -> int:
+    cfg = _network_config(args)
+    sim = OpenLoopSimulator(
+        cfg, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
+    )
+    res = sim.run(args.rate)
+    print(
+        f"offered {res.injection_rate}: avg latency "
+        f"{res.avg_latency:.2f} cycles (worst node {res.worst_node_latency:.2f}), "
+        f"throughput {res.throughput:.4f}, saturated={res.saturated}, "
+        f"{res.num_measured} packets measured"
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    cfg = _network_config(args)
+    sim = OpenLoopSimulator(
+        cfg, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
+    )
+    rates = [float(r) for r in args.rates.split(",")]
+    results = sim.latency_load_sweep(rates)
+    rows = [[r.injection_rate, r.avg_latency, r.throughput, r.saturated] for r in results]
+    print(format_table(["offered", "latency", "throughput", "saturated"], rows))
+    return 0
+
+
+def _cmd_saturation(args) -> int:
+    cfg = _network_config(args)
+    sim = OpenLoopSimulator(
+        cfg, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
+    )
+    t0 = time.perf_counter()
+    sat = sim.saturation_throughput(tolerance=args.tolerance)
+    print(
+        f"saturation throughput: {sat:.4f} flits/cycle/node "
+        f"({time.perf_counter() - t0:.1f}s)"
+    )
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    cfg = _network_config(args)
+    kwargs = {}
+    if args.nar is not None:
+        kwargs["nar"] = args.nar
+    if args.reply is not None:
+        kwargs["reply_model"] = args.reply
+    if args.barrier:
+        res = BarrierSimulator(cfg, batch_size=args.batch_size).run()
+        print(
+            f"barrier model: runtime {res.runtime}, throughput "
+            f"{res.throughput:.4f}, completed={res.completed}"
+        )
+        return 0
+    res = BatchSimulator(
+        cfg, batch_size=args.batch_size, max_outstanding=args.max_outstanding, **kwargs
+    ).run()
+    print(
+        f"batch model (b={args.batch_size}, m={args.max_outstanding}): "
+        f"runtime T={res.runtime} (T/b={res.normalized_runtime:.2f}), "
+        f"theta={res.throughput:.4f}, avg request latency "
+        f"{res.avg_request_latency:.1f}, completed={res.completed}"
+    )
+    return 0
+
+
+def _cmd_cmp(args) -> int:
+    from .execdriven import (
+        BENCHMARKS,
+        TIMER_INTERVAL_3GHZ,
+        TIMER_INTERVAL_75MHZ,
+        CmpSystem,
+    )
+
+    interval = {
+        "off": 0,
+        "3ghz": TIMER_INTERVAL_3GHZ,
+        "75mhz": TIMER_INTERVAL_75MHZ,
+    }[args.clock]
+    spec = BENCHMARKS[args.benchmark](args.instructions)
+    cfg = CmpConfig(
+        network=NetworkConfig(
+            k=4, n=2, num_vcs=8, vc_buffer_size=4, router_delay=args.router_delay
+        )
+    )
+    res = CmpSystem(
+        spec, cfg, ideal=args.ideal, timer_interval=interval, seed=args.seed
+    ).run()
+    print(
+        f"{args.benchmark} on {'ideal' if args.ideal else '4x4 mesh'} "
+        f"(tr={args.router_delay}, clock={args.clock}): {res.cycles} cycles, "
+        f"NAR {res.nar:.4f}, L2 miss {res.l2_miss_rate:.3f}, kernel share "
+        f"{res.kernel_fraction:.2f}, {res.interrupts} interrupts, "
+        f"completed={res.completed}"
+    )
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .execdriven import BENCHMARKS, characterize
+
+    names = list(BENCHMARKS) if args.benchmark == "all" else [args.benchmark]
+    rows = []
+    for name in names:
+        ch = characterize(BENCHMARKS[name](args.instructions), seed=args.seed)
+        rows.append(
+            [name, ch.ideal_cycles, ch.nar, ch.user_nar, ch.user_l2_miss,
+             ch.os_l2_miss, ch.static_kernel_fraction]
+        )
+    print(
+        format_table(
+            ["benchmark", "ideal_cycles", "NAR", "user_NAR", "user_L2miss",
+             "os_L2miss", "static_kernel"],
+            rows,
+            precision=3,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="On-Chip Network Evaluation Framework (SC 2010) CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def openloop_args(p):
+        _add_network_args(p)
+        p.add_argument("--warmup", type=int, default=500)
+        p.add_argument("--measure", type=int, default=1000)
+        p.add_argument("--drain", type=int, default=10000)
+
+    p = sub.add_parser("openloop", help="one open-loop measurement point")
+    openloop_args(p)
+    p.add_argument("--rate", type=float, required=True, help="flits/cycle/node")
+    p.set_defaults(func=_cmd_openloop)
+
+    p = sub.add_parser("sweep", help="latency-load curve")
+    openloop_args(p)
+    p.add_argument("--rates", required=True, help="comma-separated offered loads")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("saturation", help="bisect the saturation throughput")
+    openloop_args(p)
+    p.add_argument("--tolerance", type=float, default=0.01)
+    p.set_defaults(func=_cmd_saturation)
+
+    p = sub.add_parser("batch", help="closed-loop batch (or barrier) model")
+    _add_network_args(p)
+    p.add_argument("-b", "--batch-size", type=int, default=1000)
+    p.add_argument("-m", "--max-outstanding", type=int, default=1)
+    p.add_argument("--nar", type=float, default=None, help="enhanced injection rate")
+    p.add_argument(
+        "--reply",
+        type=_parse_reply,
+        default=None,
+        help="reply model: immediate | fixed:<L> | prob:<l2>:<mem>:<miss>",
+    )
+    p.add_argument("--barrier", action="store_true", help="use the barrier model")
+    p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser("cmp", help="execution-driven CMP run")
+    p.add_argument(
+        "--benchmark",
+        default="blackscholes",
+        choices=("blackscholes", "lu", "canneal", "fft", "barnes"),
+    )
+    p.add_argument("--instructions", type=int, default=10000)
+    p.add_argument("--router-delay", "--tr", type=int, default=1)
+    p.add_argument("--clock", default="3ghz", choices=("off", "3ghz", "75mhz"))
+    p.add_argument("--ideal", action="store_true", help="run on the ideal network")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_cmp)
+
+    p = sub.add_parser("characterize", help="Table III/IV characterization")
+    p.add_argument("--benchmark", default="all")
+    p.add_argument("--instructions", type=int, default=10000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_characterize)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Reporting helpers: text tables, ASCII plots, statistics, persistence."""
+
+from .ascii_plot import ascii_plot, ascii_scatter
+from .io import load_records, records_from_csv, records_to_csv, save_records
+from .stats import (
+    ConfidenceInterval,
+    batch_means,
+    confidence_interval,
+    index_of_dispersion,
+    warmup_cutoff,
+)
+from .tables import format_matrix, format_records, format_table
+
+__all__ = [
+    "format_table",
+    "format_records",
+    "format_matrix",
+    "ascii_plot",
+    "ascii_scatter",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "batch_means",
+    "warmup_cutoff",
+    "index_of_dispersion",
+    "records_to_csv",
+    "records_from_csv",
+    "save_records",
+    "load_records",
+]

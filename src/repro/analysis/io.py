@@ -1,0 +1,74 @@
+"""Sweep-record persistence (CSV and JSON).
+
+:func:`repro.core.sweep.sweep` returns flat dict records; these helpers
+round-trip them to disk so long sweeps can be analysed offline or resumed.
+CSV is for spreadsheets (scalar fields only); JSON preserves types.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Any, Mapping, Sequence
+
+__all__ = ["records_to_csv", "records_from_csv", "save_records", "load_records"]
+
+
+def _coerce(value: str) -> Any:
+    """Best-effort CSV cell typing: int, float, bool, then str."""
+    if value == "":
+        return ""
+    for caster in (int, float):
+        try:
+            return caster(value)
+        except ValueError:
+            pass
+    if value in ("True", "False"):
+        return value == "True"
+    return value
+
+
+def records_to_csv(records: Sequence[Mapping[str, Any]]) -> str:
+    """Serialize records to CSV text (union of keys, insertion-ordered)."""
+    if not records:
+        return ""
+    columns: list[str] = []
+    for rec in records:
+        for key in rec:
+            if key not in columns:
+                columns.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns, restval="")
+    writer.writeheader()
+    for rec in records:
+        writer.writerow({k: rec.get(k, "") for k in columns})
+    return buf.getvalue()
+
+
+def records_from_csv(text: str) -> list[dict[str, Any]]:
+    """Parse CSV text back into typed records."""
+    reader = csv.DictReader(io.StringIO(text))
+    return [{k: _coerce(v) for k, v in row.items()} for row in reader]
+
+
+def save_records(records: Sequence[Mapping[str, Any]], path) -> None:
+    """Write records to ``path``; format chosen by suffix (.csv or .json)."""
+    path = pathlib.Path(path)
+    if path.suffix == ".csv":
+        path.write_text(records_to_csv(records))
+    elif path.suffix == ".json":
+        path.write_text(json.dumps(list(records), indent=2, default=str))
+    else:
+        raise ValueError(f"unsupported suffix {path.suffix!r} (use .csv or .json)")
+
+
+def load_records(path) -> list[dict[str, Any]]:
+    """Read records written by :func:`save_records`."""
+    path = pathlib.Path(path)
+    if path.suffix == ".csv":
+        return records_from_csv(path.read_text())
+    if path.suffix == ".json":
+        return json.loads(path.read_text())
+    raise ValueError(f"unsupported suffix {path.suffix!r} (use .csv or .json)")

@@ -1,0 +1,66 @@
+"""The paper's evaluation framework: open-loop, closed-loop, and extensions."""
+
+from .barrier import BarrierResult, BarrierSimulator
+from .closedloop import OS_CLASS, USER_CLASS, BatchResult, BatchSimulator
+from .correlation import (
+    CorrelationResult,
+    ScatterPair,
+    batch_vs_openloop,
+    correlate,
+    normalize_per_group,
+    pearson,
+)
+from .metrics import LatencyStats, latency_stats, node_distribution, runtime_map
+from .openloop import OpenLoopResult, OpenLoopSimulator
+from .osmodel import OSModel
+from .reply import (
+    FixedReply,
+    ImmediateReply,
+    PerClassReply,
+    ProbabilisticReply,
+    ReplyModel,
+)
+from .sweep import product_configs, sweep
+from .tracedriven import (
+    Trace,
+    TraceDrivenResult,
+    TraceDrivenSimulator,
+    TraceRecord,
+    capture_batch_trace,
+    capture_openloop_trace,
+)
+
+__all__ = [
+    "OpenLoopSimulator",
+    "OpenLoopResult",
+    "BatchSimulator",
+    "BatchResult",
+    "BarrierSimulator",
+    "BarrierResult",
+    "USER_CLASS",
+    "OS_CLASS",
+    "ReplyModel",
+    "ImmediateReply",
+    "FixedReply",
+    "ProbabilisticReply",
+    "PerClassReply",
+    "OSModel",
+    "LatencyStats",
+    "latency_stats",
+    "node_distribution",
+    "runtime_map",
+    "pearson",
+    "normalize_per_group",
+    "correlate",
+    "batch_vs_openloop",
+    "CorrelationResult",
+    "ScatterPair",
+    "product_configs",
+    "sweep",
+    "Trace",
+    "TraceRecord",
+    "TraceDrivenSimulator",
+    "TraceDrivenResult",
+    "capture_openloop_trace",
+    "capture_batch_trace",
+]

@@ -1,0 +1,165 @@
+"""Correlation methodology (paper §III-B steps 1-4, Figs. 5, 8, 15, 19, 22).
+
+The paper compares two measurement methodologies by pairing their results
+per configuration, normalizing each series *within its own group* to that
+group's baseline configuration, and reporting the Pearson correlation
+coefficient of the scatter.  Per-group normalization is what lets different
+``m`` values (which achieve very different absolute loads) share one plot —
+the footnote on Fig. 5 spells this out.
+
+:func:`batch_vs_openloop` automates steps 1-4 for the batch-model vs
+open-loop comparison: run the batch model, convert its runtime to an
+achieved load ``θ = 2b/T``, run the open-loop simulator at that offered
+load, and pair the normalized values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional, Sequence
+
+import numpy as np
+
+from ..config import NetworkConfig
+from .closedloop import BatchSimulator
+from .openloop import OpenLoopSimulator
+
+__all__ = [
+    "pearson",
+    "normalize_per_group",
+    "ScatterPair",
+    "CorrelationResult",
+    "correlate",
+    "batch_vs_openloop",
+]
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples."""
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if xa.shape != ya.shape:
+        raise ValueError(f"shape mismatch: {xa.shape} vs {ya.shape}")
+    if xa.size < 2:
+        raise ValueError("need at least 2 points")
+    mask = np.isfinite(xa) & np.isfinite(ya)
+    xa, ya = xa[mask], ya[mask]
+    if xa.size < 2:
+        raise ValueError("fewer than 2 finite points")
+    xd = xa - xa.mean()
+    yd = ya - ya.mean()
+    denom = np.sqrt((xd * xd).sum() * (yd * yd).sum())
+    if denom == 0.0:
+        return 1.0 if np.allclose(xd, yd) else 0.0
+    return float((xd * yd).sum() / denom)
+
+
+def normalize_per_group(
+    values: Sequence[float],
+    groups: Sequence[Hashable],
+    is_baseline: Sequence[bool],
+) -> np.ndarray:
+    """Normalize each value to its group's baseline value.
+
+    Every group must contain exactly one baseline entry (e.g. for the Fig. 5
+    router-delay study, the group is ``m`` and the baseline is ``tr == 1``).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    base: dict[Hashable, float] = {}
+    for v, g, b in zip(values, groups, is_baseline, strict=True):
+        if b:
+            if g in base:
+                raise ValueError(f"group {g!r} has two baseline entries")
+            base[g] = v
+    missing = {g for g in groups} - set(base)
+    if missing:
+        raise ValueError(f"groups without a baseline: {sorted(map(str, missing))}")
+    return np.array([v / base[g] for v, g in zip(values, groups)])
+
+
+@dataclass(frozen=True)
+class ScatterPair:
+    """One scatter point: the same configuration under two methodologies."""
+
+    key: tuple
+    group: Hashable
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Scatter points and their Pearson r."""
+
+    pairs: tuple[ScatterPair, ...]
+    r: float
+
+    def filtered(self, predicate: Callable[[ScatterPair], bool]) -> "CorrelationResult":
+        """Correlation over the subset matching ``predicate`` (e.g. drop
+        near-saturation m values, as the paper does for m = 16, 32)."""
+        kept = tuple(p for p in self.pairs if predicate(p))
+        return CorrelationResult(kept, pearson([p.x for p in kept], [p.y for p in kept]))
+
+
+def correlate(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    keys: Sequence[tuple],
+    groups: Sequence[Hashable],
+    baselines: Sequence[bool],
+) -> CorrelationResult:
+    """Pair two measurement series with per-group normalization."""
+    xn = normalize_per_group(xs, groups, baselines)
+    yn = normalize_per_group(ys, groups, baselines)
+    pairs = tuple(
+        ScatterPair(key=k, group=g, x=float(x), y=float(y))
+        for k, g, x, y in zip(keys, groups, xn, yn, strict=True)
+    )
+    return CorrelationResult(pairs, pearson(xn, yn))
+
+
+def batch_vs_openloop(
+    configs: Sequence[tuple[Hashable, NetworkConfig]],
+    m_values: Sequence[int],
+    *,
+    batch_size: int = 1000,
+    baseline_key: Optional[Hashable] = None,
+    openloop_kwargs: Optional[dict] = None,
+    batch_kwargs: Optional[dict] = None,
+    worst_case: bool = False,
+) -> CorrelationResult:
+    """Steps 1-4 of the paper's §III-B batch/open-loop comparison.
+
+    ``configs`` maps a label (e.g. ``tr=2``) to a network configuration;
+    ``baseline_key`` names the configuration each group normalizes to
+    (default: the first).  Set ``worst_case=True`` to pair the batch
+    runtime against the open-loop *worst-case node* latency, which is what
+    restores correlation for edge-asymmetric topologies (Fig. 8).
+
+    Saturated open-loop points yield infinite latency and are dropped by
+    :func:`pearson`, mirroring the paper's exclusion of near-saturation
+    measurements.
+    """
+    if baseline_key is None:
+        baseline_key = configs[0][0]
+    ol_kw = dict(openloop_kwargs or {})
+    ba_kw = dict(batch_kwargs or {})
+    xs: list[float] = []
+    ys: list[float] = []
+    keys: list[tuple] = []
+    groups: list[Hashable] = []
+    baselines: list[bool] = []
+    for m in m_values:
+        for label, cfg in configs:
+            batch = BatchSimulator(
+                cfg, batch_size=batch_size, max_outstanding=m, **ba_kw
+            ).run()
+            theta = min(batch.throughput, 1.0)
+            ol = OpenLoopSimulator(cfg, **ol_kw).run(max(theta, 1e-3))
+            xs.append(ol.worst_node_latency if worst_case else ol.avg_latency)
+            ys.append(batch.runtime)
+            keys.append((label, m))
+            groups.append(m)
+            baselines.append(label == baseline_key)
+    return correlate(xs, ys, keys=keys, groups=groups, baselines=baselines)

@@ -1,0 +1,86 @@
+"""Measurement statistics shared by the harnesses.
+
+Implements the paper's derived views of raw packet/runtime data: latency
+summary statistics, the per-node distributions of Fig. 11, and the spatial
+runtime map of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LatencyStats",
+    "latency_stats",
+    "node_distribution",
+    "runtime_map",
+]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency (or runtime) sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "LatencyStats":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan, nan, nan)
+        return cls(
+            count=int(values.size),
+            mean=float(values.mean()),
+            std=float(values.std()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            p50=float(np.percentile(values, 50)),
+            p95=float(np.percentile(values, 95)),
+            p99=float(np.percentile(values, 99)),
+        )
+
+
+def latency_stats(packets) -> LatencyStats:
+    """Latency statistics over delivered packets."""
+    return LatencyStats.from_values(np.array([p.latency for p in packets], dtype=np.float64))
+
+
+def node_distribution(
+    per_node_values: np.ndarray, bins: int = 10, range_: tuple[float, float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of a per-node metric as *fraction of nodes* per bin.
+
+    This is the paper's Fig. 11 view: x = metric value (average latency or
+    runtime), y = % of nodes.  Returns ``(bin_edges, fractions)``.
+    """
+    values = np.asarray(per_node_values, dtype=np.float64)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValueError("no finite per-node values to histogram")
+    counts, edges = np.histogram(values, bins=bins, range=range_)
+    return edges, counts / values.size
+
+
+def runtime_map(node_finish: np.ndarray, k: int) -> np.ndarray:
+    """Per-node runtime normalized to the slowest node, as a k×k grid.
+
+    Row y, column x hold node ``x + k*y`` — the layout of the paper's Fig. 7
+    surface plots.  On an edge-asymmetric mesh the center of the grid
+    finishes first; on a torus the map is flat.
+    """
+    finish = np.asarray(node_finish, dtype=np.float64)
+    if finish.size != k * k:
+        raise ValueError(f"expected {k * k} nodes, got {finish.size}")
+    if (finish < 0).any():
+        raise ValueError("run did not complete: some nodes never finished")
+    return (finish / finish.max()).reshape(k, k)

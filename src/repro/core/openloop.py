@@ -1,0 +1,252 @@
+"""Open-loop measurement (paper §II-A, Figs. 1, 3, 9).
+
+Open-loop simulation drives the network from an *infinite source queue*
+with traffic parameters (spatial pattern, Bernoulli temporal process, size
+distribution) that the network cannot influence; the result is the classic
+latency vs. offered-load curve with its zero-load latency and saturation
+throughput.
+
+Methodology (Dally & Towles ch. 23): a warm-up phase, a measurement phase
+tagging every packet *created* in the window, then a drain phase during
+which background traffic keeps being injected so tagged packets experience
+steady-state contention.  Latency counts from packet creation, so source
+queueing delay is included and latency diverges at saturation.  A run whose
+tagged packets cannot drain within the budget reports ``saturated=True``
+and infinite latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..config import NetworkConfig
+from ..network.network import Network
+from ..traffic.patterns import TrafficPattern
+from ..traffic.process import Bernoulli
+from ..traffic.registry import build_pattern, build_sizes
+from ..traffic.sizes import SizeDistribution
+
+__all__ = ["OpenLoopResult", "OpenLoopSimulator"]
+
+
+@dataclass
+class OpenLoopResult:
+    """Steady-state measurements of one open-loop run.
+
+    ``avg_latency``/``worst_node_latency`` are in cycles (inf if saturated);
+    ``throughput`` is accepted flits/cycle/node over the measurement window;
+    per-node averages are grouped by *source* node, matching the paper's
+    Fig. 11 node distributions.
+    """
+
+    injection_rate: float
+    avg_latency: float
+    worst_node_latency: float
+    throughput: float
+    avg_hops: float
+    saturated: bool
+    num_measured: int
+    per_node_latency: np.ndarray = field(repr=False)
+    latencies: np.ndarray = field(repr=False)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile packet latency (inf if saturated)."""
+        if self.saturated or len(self.latencies) == 0:
+            return float("inf")
+        return float(np.percentile(self.latencies, 99))
+
+
+class OpenLoopSimulator:
+    """Runs open-loop measurements on a fresh network per run."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        *,
+        pattern: Optional[TrafficPattern] = None,
+        sizes: Optional[SizeDistribution] = None,
+        process=None,
+        warmup: int = 1000,
+        measure: int = 2000,
+        drain_limit: int = 30000,
+    ):
+        self.config = config
+        self.pattern = pattern if pattern is not None else build_pattern(config)
+        self.sizes = sizes if sizes is not None else build_sizes(config)
+        # Temporal injection process factory: (num_nodes, packet_rate) ->
+        # InjectionProcess.  Default is the conventional Bernoulli process;
+        # pass e.g. ``lambda n, r: MarkovOnOff.for_average_rate(n, r)`` for
+        # bursty traffic (SII-A's "temporal distribution" axis).
+        self.process = process if process is not None else Bernoulli
+        self.warmup = warmup
+        self.measure = measure
+        self.drain_limit = drain_limit
+
+    # -- single-point run -----------------------------------------------------
+    def run(self, injection_rate: float, *, seed: Optional[int] = None) -> OpenLoopResult:
+        """Measure at ``injection_rate`` (offered flits/cycle/node)."""
+        if not 0.0 < injection_rate <= 1.0:
+            raise ValueError("injection_rate must be in (0, 1]")
+        cfg = self.config
+        seed = cfg.seed if seed is None else seed
+        net = Network(cfg)
+        n = net.num_nodes
+        gen = rng_mod.make_generator(seed, "openloop", injection_rate)
+        # Offered load is in flits/cycle/node; the Bernoulli process draws
+        # packets, so scale by the mean packet size.
+        p_packet = injection_rate / self.sizes.mean
+        if p_packet > 1.0:
+            raise ValueError(
+                f"rate {injection_rate} needs >1 packet/cycle/node "
+                f"(mean size {self.sizes.mean})"
+            )
+        warm_end = self.warmup
+        meas_end = self.warmup + self.measure
+        hard_end = meas_end + self.drain_limit
+        measured: list = []
+        outstanding = 0
+        flits_at_start = 0
+        flits_at_end = 0
+        pattern = self.pattern
+        sizes = self.sizes
+        process = self.process(n, p_packet)
+        while net.now < hard_end:
+            now = net.now
+            if now == warm_end:
+                flits_at_start = net.total_flits_delivered
+            if now == meas_end:
+                flits_at_end = net.total_flits_delivered
+            in_window = warm_end <= now < meas_end
+            arrivals = process.arrivals(gen)
+            for src in arrivals:
+                src = int(src)
+                dst = pattern.dest(src, gen)
+                pkt = net.make_packet(src, dst, sizes.draw(gen), measured=in_window)
+                if in_window:
+                    outstanding += 1
+                net.offer(pkt)
+            for pkt in net.step():
+                if pkt.measured:
+                    measured.append(pkt)
+                    outstanding -= 1
+            if now >= meas_end and outstanding == 0:
+                break
+        saturated = outstanding > 0
+        return self._collect(
+            injection_rate, measured, saturated, flits_at_start, flits_at_end, n
+        )
+
+    def _collect(
+        self,
+        rate: float,
+        measured: list,
+        saturated: bool,
+        flits_start: int,
+        flits_end: int,
+        n: int,
+    ) -> OpenLoopResult:
+        lat = np.array([p.latency for p in measured], dtype=np.float64)
+        hops = np.array([p.hops for p in measured], dtype=np.float64)
+        per_node = np.full(n, np.nan)
+        if len(measured):
+            srcs = np.array([p.src for p in measured])
+            sums = np.bincount(srcs, weights=lat, minlength=n)
+            counts = np.bincount(srcs, minlength=n)
+            nz = counts > 0
+            per_node[nz] = sums[nz] / counts[nz]
+        throughput = (flits_end - flits_start) / (self.measure * n) if self.measure else 0.0
+        if saturated or len(lat) == 0:
+            avg = worst = float("inf")
+        else:
+            avg = float(lat.mean())
+            worst = float(np.nanmax(per_node))
+        return OpenLoopResult(
+            injection_rate=rate,
+            avg_latency=avg,
+            worst_node_latency=worst,
+            throughput=throughput,
+            avg_hops=float(hops.mean()) if len(hops) else 0.0,
+            saturated=saturated,
+            num_measured=len(measured),
+            per_node_latency=per_node,
+            latencies=lat,
+        )
+
+    # -- derived measurements ----------------------------------------------------
+    def latency_load_sweep(
+        self, rates, *, seed: Optional[int] = None, stop_after_saturation: bool = True
+    ) -> list[OpenLoopResult]:
+        """Latency–load curve over ``rates`` (ascending offered loads).
+
+        By default the sweep stops at the first saturated point: beyond it
+        every point is saturated too and simulating them is pure drain-limit
+        burn (the paper's Fig. 3 curves end at saturation for the same
+        reason).
+        """
+        results = []
+        for rate in rates:
+            res = self.run(rate, seed=seed)
+            results.append(res)
+            if stop_after_saturation and res.saturated:
+                break
+        return results
+
+    def zero_load_latency(self, *, rate: float = 0.005, seed: Optional[int] = None) -> float:
+        """Measured latency at a near-zero offered load."""
+        return self.run(rate, seed=seed).avg_latency
+
+    def analytic_zero_load_latency(self) -> float:
+        """First-principles zero-load latency under uniform random traffic.
+
+        avg_hops · (tr + channel_delay) + the source router's pipeline (tr)
+        + serialization; used to cross-check the simulator in tests.
+        """
+        from ..topology.registry import build_topology
+
+        topo = build_topology(self.config)
+        h = topo.average_min_hops()
+        tr = self.config.router_delay
+        ser = self.sizes.mean - 1.0
+        try:
+            ch_delay = next(iter(topo.channels())).delay
+        except StopIteration:
+            ch_delay = self.config.link_delay
+        return h * (tr + ch_delay) + tr + ser
+
+    def saturation_throughput(
+        self,
+        *,
+        track_fraction: float = 0.95,
+        tolerance: float = 0.01,
+        lo: float = 0.02,
+        hi: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> float:
+        """Saturation throughput via bisection on offered load.
+
+        A point is "stable" if its tagged packets drain and the accepted
+        throughput tracks the offered load within ``track_fraction`` — the
+        practical proxy for the latency-asymptote definition in the paper
+        (footnote 3 notes the exact latency is ill-conditioned near
+        saturation, which is also why a latency cap makes a poor criterion
+        on high-diameter topologies like the ring).
+        """
+
+        def stable(rate: float) -> bool:
+            res = self.run(rate, seed=seed)
+            return (not res.saturated) and res.throughput >= track_fraction * rate
+
+        if not stable(lo):
+            return 0.0
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if stable(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo

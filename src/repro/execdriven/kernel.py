@@ -1,0 +1,48 @@
+"""Kernel activity timing (paper §V).
+
+The paper classifies kernel network traffic into (a) application-dependent
+syscall/trap traffic — modelled as kernel-class phases inside each
+:class:`~repro.execdriven.benchmarks.BenchmarkSpec` — and (b) periodic timer
+interrupts, whose *wall-clock* period means their per-cycle rate scales with
+the core clock: the Simics default 75 MHz Serengeti sees ~40× more
+interrupts per cycle than a 3 GHz configuration, which is exactly the ratio
+that wrecks the un-modelled correlation in Fig. 22(a).
+
+Our surrogate benchmarks are ~``SCALE``× shorter than the real SPLASH-2 /
+PARSEC runs, so intervals are scaled by the same factor to keep
+interrupts-per-run in the paper's observed range (6-10 at 3 GHz, hundreds
+at 75 MHz).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "timer_interval_cycles",
+    "TIMER_INTERVAL_3GHZ",
+    "TIMER_INTERVAL_75MHZ",
+    "SCALE",
+]
+
+#: Ratio between real benchmark length and the synthetic surrogates.
+SCALE = 1200
+
+#: Solaris clock-tick rate used by the paper's Simics configuration.
+TIMER_HZ = 100
+
+
+def timer_interval_cycles(freq_hz: float, *, timer_hz: float = TIMER_HZ, scale: float = SCALE) -> int:
+    """Cycles between timer interrupts for a core clocked at ``freq_hz``.
+
+    ``scale`` divides the real interval to match the surrogate benchmarks'
+    shortened runtimes (see module docstring).
+    """
+    if freq_hz <= 0 or timer_hz <= 0 or scale <= 0:
+        raise ValueError("freq_hz, timer_hz and scale must be positive")
+    return max(1, round(freq_hz / timer_hz / scale))
+
+
+#: 3 GHz "modern high-end processor" configuration.
+TIMER_INTERVAL_3GHZ = timer_interval_cycles(3e9)
+
+#: 75 MHz Simics Serengeti default configuration.
+TIMER_INTERVAL_75MHZ = timer_interval_cycles(75e6)

@@ -1,0 +1,66 @@
+"""Miss-status holding registers (MSHRs).
+
+The MSHR file bounds a core's outstanding misses — the paper's ``m``
+parameter is precisely an abstraction of this structure (§II-B1 cites
+Kroft '81 and Tuck et al.).  Secondary misses to a line already in flight
+*merge* into the existing entry instead of consuming a new one or sending a
+duplicate request, as in real lockup-free caches.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MSHRFile"]
+
+
+class MSHRFile:
+    """Fixed-capacity miss tracker with secondary-miss merging."""
+
+    __slots__ = ("capacity", "_entries", "merged", "allocations", "full_stalls")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: dict[int, int] = {}  # line -> merged access count
+        self.merged = 0
+        self.allocations = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line: int) -> bool:
+        """True if a miss to ``line`` is already outstanding."""
+        return line in self._entries
+
+    def allocate(self, line: int) -> str:
+        """Try to track a miss to ``line``.
+
+        Returns ``"merged"`` (already outstanding — no new request needed),
+        ``"allocated"`` (new entry — send a request), or ``"full"`` (stall).
+        """
+        if line in self._entries:
+            self._entries[line] += 1
+            self.merged += 1
+            return "merged"
+        if len(self._entries) >= self.capacity:
+            self.full_stalls += 1
+            return "full"
+        self._entries[line] = 1
+        self.allocations += 1
+        return "allocated"
+
+    def release(self, line: int) -> int:
+        """The reply for ``line`` arrived; returns merged access count."""
+        count = self._entries.pop(line, None)
+        if count is None:
+            raise KeyError(f"no outstanding miss for line {line}")
+        return count
+
+    def outstanding(self) -> list[int]:
+        """Lines currently in flight (oldest first)."""
+        return list(self._entries)

@@ -1,0 +1,22 @@
+"""Cycle-level network-on-chip simulator (flits, VCs, credits)."""
+
+from .arbiters import AgeArbiter, Arbiter, RoundRobinArbiter, build_arbiter
+from .ideal import IdealNetwork
+from .links import TimeBuckets
+from .network import Network
+from .packet import Packet
+from .router import Router
+from .vc import InputVC
+
+__all__ = [
+    "Packet",
+    "InputVC",
+    "Arbiter",
+    "RoundRobinArbiter",
+    "AgeArbiter",
+    "build_arbiter",
+    "TimeBuckets",
+    "Router",
+    "Network",
+    "IdealNetwork",
+]

@@ -1,0 +1,77 @@
+"""Switch arbitration policies (paper Table I: round robin, age-based).
+
+One arbiter instance serves one output port.  ``pick`` receives the input
+VCs requesting that port this cycle (as ``(ivc_index, packet)`` pairs,
+sorted by ivc_index for determinism) and returns the winning pair.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["Arbiter", "RoundRobinArbiter", "AgeArbiter", "build_arbiter"]
+
+
+class Arbiter(ABC):
+    """Selects one winner among requesting input VCs."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def pick(self, requests: list) -> tuple:
+        """Return the winning ``(ivc_index, packet)`` pair.
+
+        ``requests`` is non-empty and sorted by ivc_index.
+        """
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-priority arbiter: fair, stateful, O(len(requests))."""
+
+    name = "round_robin"
+
+    __slots__ = ("size", "ptr")
+
+    def __init__(self, size: int):
+        self.size = size
+        self.ptr = 0
+
+    def pick(self, requests: list) -> tuple:
+        winner = None
+        for req in requests:
+            if req[0] >= self.ptr:
+                winner = req
+                break
+        if winner is None:
+            winner = requests[0]
+        self.ptr = (winner[0] + 1) % self.size
+        return winner
+
+
+class AgeArbiter(Arbiter):
+    """Oldest-packet-first arbiter (global age = creation time).
+
+    Age-based arbitration reduces latency variance and starvation; ties
+    break on packet id, then ivc index, keeping runs deterministic.
+    """
+
+    name = "age"
+
+    __slots__ = ()
+
+    def pick(self, requests: list) -> tuple:
+        return min(requests, key=_age_key)
+
+
+def _age_key(req: tuple) -> tuple:
+    pkt = req[1]
+    return (pkt.create_time, pkt.pid, req[0])
+
+
+def build_arbiter(name: str, size: int) -> Arbiter:
+    """Construct the arbiter named in the config (one per output port)."""
+    if name == "round_robin":
+        return RoundRobinArbiter(size)
+    if name == "age":
+        return AgeArbiter()
+    raise ValueError(f"unknown arbitration {name!r}")

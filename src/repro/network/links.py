@@ -1,0 +1,49 @@
+"""Time-bucketed event delivery for links and credits.
+
+Link traversal and credit return are the only delayed events in the
+simulator, and their delays are tiny constants (1-2 cycles), so a dict of
+per-cycle buckets beats a priority queue: scheduling is an append, and each
+cycle pops at most one bucket per event kind.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["TimeBuckets"]
+
+
+class TimeBuckets:
+    """Events grouped by delivery cycle.
+
+    ``schedule(t, ev)`` files ``ev`` under cycle ``t``; ``pop(t)`` removes
+    and returns the bucket for cycle ``t`` (or None).  ``pending`` counts
+    undelivered events, used for drain/idle detection.
+    """
+
+    __slots__ = ("_buckets", "pending")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, list] = {}
+        self.pending = 0
+
+    def schedule(self, t: int, event: Any) -> None:
+        bucket = self._buckets.get(t)
+        if bucket is None:
+            self._buckets[t] = [event]
+        else:
+            bucket.append(event)
+        self.pending += 1
+
+    def pop(self, t: int) -> Optional[list]:
+        bucket = self._buckets.pop(t, None)
+        if bucket is not None:
+            self.pending -= len(bucket)
+        return bucket
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self.pending = 0
+
+    def __bool__(self) -> bool:
+        return self.pending > 0

@@ -1,0 +1,243 @@
+"""Network assembly and the cycle loop.
+
+:class:`Network` owns the routers, the per-node source queues, and the two
+delayed-event streams (flit arrivals over links, credits returning
+upstream).  External drivers — open-loop, closed-loop, or the
+execution-driven CMP — interact through three calls:
+
+* :meth:`offer` — hand a packet to its source node's (infinite) queue,
+* :meth:`step` — advance one cycle; returns the packets whose tail flit was
+  ejected this cycle,
+* :meth:`is_idle` — True when no packet is queued or in flight (drain done).
+
+Injection bandwidth is one flit per node per cycle: each node streams its
+current packet into the injection-port VC with the most free space, whole
+packets at a time, and stalls on backpressure — which is exactly the
+feedback path that differentiates closed-loop from open-loop measurement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from ..config import NetworkConfig
+from ..routing.base import RoutingAlgorithm
+from ..routing.registry import build_routing
+from ..topology.base import Channel, Topology
+from ..topology.registry import build_topology
+from .links import TimeBuckets
+from .packet import Packet
+from .router import Router
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A cycle-level NoC built from a :class:`NetworkConfig`."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        *,
+        topology: Optional[Topology] = None,
+        routing: Optional[RoutingAlgorithm] = None,
+    ):
+        if config.topology == "ideal":
+            raise ValueError("use repro.network.ideal.IdealNetwork for the ideal topology")
+        self.config = config
+        self.topology = topology if topology is not None else build_topology(config)
+        self.routing = routing if routing is not None else build_routing(config, self.topology)
+        n = self.topology.num_nodes
+        self.num_nodes = n
+        self.routers = [
+            Router(
+                node,
+                self,
+                self.routing,
+                num_vcs=config.num_vcs,
+                buf_size=config.vc_buffer_size,
+                router_delay=config.router_delay,
+                arbitration=config.arbitration,
+            )
+            for node in range(n)
+        ]
+        # Reverse channel map: [downstream node][in_port] -> (upstream
+        # router, its out_port), used to return credits.  Indexed lists beat
+        # a dict in the per-flit hot path; the local (injection) port entry
+        # stays None — its buffer is checked directly by the source.
+        ports = self.topology.ports_per_router
+        self._upstream: list[list] = [[None] * ports for _ in range(n)]
+        for ch in self.topology.channels():
+            self._upstream[ch.dst][ch.in_port] = (self.routers[ch.src], ch.out_port)
+        self.now = 0
+        self._arrivals = TimeBuckets()
+        self._credits = TimeBuckets()
+        self._credit_delay = config.credit_delay
+        self.src_queues: list[deque] = [deque() for _ in range(n)]
+        self._inj_state: list[Optional[list]] = [None] * n
+        self._active_sources: set[int] = set()
+        self._delivered: list[Packet] = []
+        self._inflight = 0
+        self._next_pid = 0
+        # counters
+        self.total_packets_delivered = 0
+        self.total_flits_delivered = 0
+        self.flit_ejections = np.zeros(n, dtype=np.int64)
+        self.flit_injections = np.zeros(n, dtype=np.int64)
+
+    # -- driver API -----------------------------------------------------------
+    def make_packet(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        *,
+        is_reply: bool = False,
+        traffic_class: int = 0,
+        measured: bool = True,
+        meta=None,
+    ) -> Packet:
+        """Create a packet stamped with the current cycle and a fresh id."""
+        pkt = Packet(
+            self._next_pid,
+            src,
+            dst,
+            size,
+            self.now,
+            is_reply=is_reply,
+            traffic_class=traffic_class,
+            measured=measured,
+            meta=meta,
+        )
+        self._next_pid += 1
+        return pkt
+
+    def offer(self, packet: Packet) -> None:
+        """Queue ``packet`` at its source node (infinite source queue)."""
+        self.routing.on_inject(packet)
+        self.src_queues[packet.src].append(packet)
+        self._active_sources.add(packet.src)
+        self._inflight += 1
+
+    def step(self) -> list[Packet]:
+        """Advance one cycle; return packets delivered during it."""
+        now = self.now
+        delivered = self._delivered = []
+        routers = self.routers
+        # 1. Credits land (usable this cycle).
+        bucket = self._credits.pop(now)
+        if bucket is not None:
+            for router, op, vc in bucket:
+                router.credits[op][vc] += 1
+        # 2. Link arrivals buffer into downstream input VCs.
+        bucket = self._arrivals.pop(now)
+        if bucket is not None:
+            for node, in_port, vc, pkt, fidx in bucket:
+                routers[node].enqueue(in_port, vc, pkt, fidx, now)
+        # 3. Sources stream flits into injection ports (1 flit/node/cycle).
+        if self._active_sources:
+            self._inject_all(now)
+        # 4. Routers allocate and traverse.
+        for router in routers:
+            if router.busy:
+                router.step(now)
+        self.now = now + 1
+        return delivered
+
+    def run(self, cycles: int) -> list[Packet]:
+        """Step ``cycles`` times, returning all deliveries (convenience)."""
+        out: list[Packet] = []
+        for _ in range(cycles):
+            out.extend(self.step())
+        return out
+
+    def is_idle(self) -> bool:
+        """True when no packet is queued, buffered, or on a link."""
+        return self._inflight == 0
+
+    @property
+    def in_flight(self) -> int:
+        """Packets offered but not yet fully delivered."""
+        return self._inflight
+
+    def buffered_flits(self) -> int:
+        """Flits currently buffered across all routers (diagnostics)."""
+        return sum(r.buffered_flits() for r in self.routers)
+
+    # -- internals --------------------------------------------------------------
+    def _inject_all(self, now: int) -> None:
+        buf_size = self.config.vc_buffer_size
+        num_vcs = self.config.num_vcs
+        done: list[int] = []
+        for node in self._active_sources:
+            st = self._inj_state[node]
+            router = self.routers[node]
+            if st is None:
+                queue = self.src_queues[node]
+                if not queue:
+                    done.append(node)
+                    continue
+                pkt = queue[0]
+                # Choose the injection VC with most free space that is not
+                # mid-packet; whole packets stream into a single VC.
+                base = router.local_port * num_vcs
+                best_vc = -1
+                best_free = 0
+                for vc in range(num_vcs):
+                    ivc = router.ivcs[base + vc]
+                    if ivc.fifo and ivc.fifo[-1][1] != ivc.fifo[-1][0].size - 1:
+                        continue  # a packet is still streaming into this VC
+                    free = buf_size - len(ivc.fifo)
+                    if free > best_free:
+                        best_free = free
+                        best_vc = vc
+                if best_vc < 0:
+                    continue  # all VCs full or busy: injection backpressure
+                st = self._inj_state[node] = [pkt, 0, best_vc]
+            pkt, fidx, vc = st
+            if router.free_space(router.local_port, vc, buf_size) <= 0:
+                continue
+            if fidx == 0:
+                pkt.inject_time = now
+            router.enqueue(router.local_port, vc, pkt, fidx, now)
+            self.flit_injections[node] += 1
+            fidx += 1
+            if fidx == pkt.size:
+                self.src_queues[node].popleft()
+                self._inj_state[node] = None
+                if not self.src_queues[node]:
+                    done.append(node)
+            else:
+                st[1] = fidx
+        for node in done:
+            if not self.src_queues[node] and self._inj_state[node] is None:
+                self._active_sources.discard(node)
+
+    def send_flit(self, ch: Channel, vc: int, pkt: Packet, fidx: int, now: int) -> None:
+        """Schedule a flit's arrival at the downstream router."""
+        self._arrivals.schedule(now + ch.delay, (ch.dst, ch.in_port, vc, pkt, fidx))
+
+    def send_credit(self, node: int, in_port: int, vc: int, now: int) -> None:
+        """Return a credit to the router feeding (node, in_port)."""
+        upstream = self._upstream[node][in_port]
+        if upstream is None:
+            return  # injection buffers are checked directly by the source
+        router, op = upstream
+        if self._credit_delay == 0:
+            router.credits[op][vc] += 1
+        else:
+            self._credits.schedule(now + self._credit_delay, (router, op, vc))
+
+    def count_ejection(self, node: int) -> None:
+        """One flit left the network at ``node`` (called per ejected flit)."""
+        self.flit_ejections[node] += 1
+        self.total_flits_delivered += 1
+
+    def on_delivered(self, pkt: Packet) -> None:
+        """Tail flit ejected: complete the packet."""
+        self.total_packets_delivered += 1
+        self._inflight -= 1
+        self._delivered.append(pkt)

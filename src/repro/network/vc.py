@@ -1,0 +1,49 @@
+"""Input virtual-channel state.
+
+Each router input port owns ``num_vcs`` of these.  The FIFO holds buffered
+flits as ``(packet, flit_index, ready_time)`` tuples; ``ready_time`` is the
+cycle at which the flit has cleared the router pipeline (arrival + tr) and
+may traverse the switch.
+
+The VC's routing state machine is encoded compactly:
+
+* ``out_port == -1`` and ``candidates is None`` — idle / not yet routed,
+* ``candidates is not None``                    — routed, waiting for VC
+  allocation downstream (retried every cycle),
+* ``out_port >= 0``                             — allocated; ``out_vc`` is
+  the downstream VC, or ``-1`` when the output is the ejection port.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+__all__ = ["InputVC"]
+
+
+class InputVC:
+    """One input virtual channel (buffer + wormhole routing state)."""
+
+    __slots__ = ("index", "in_port", "vc", "fifo", "out_port", "out_vc", "candidates")
+
+    def __init__(self, index: int, in_port: int, vc: int):
+        self.index = index
+        self.in_port = in_port
+        self.vc = vc
+        self.fifo: deque = deque()
+        self.out_port: int = -1
+        self.out_vc: int = -1
+        self.candidates: Optional[list] = None
+
+    def reset_route(self) -> None:
+        """Clear routing state after the tail flit departs."""
+        self.out_port = -1
+        self.out_vc = -1
+        self.candidates = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InputVC(port={self.in_port}, vc={self.vc}, depth={len(self.fifo)},"
+            f" out={self.out_port}/{self.out_vc})"
+        )

@@ -1,0 +1,89 @@
+"""Routing algorithm interface.
+
+A routing algorithm answers one question per hop, for the head flit of a
+packet sitting at a router: *which output ports may this packet take, and
+which virtual channels may it occupy at the downstream router?*
+
+The answer is an ordered list of :class:`RouteCandidate`.  Deterministic
+algorithms (DOR) return exactly one candidate; oblivious multi-phase
+algorithms (VAL, ROMM) return one candidate per hop but mutate the packet's
+``phase`` as it passes its intermediate node; adaptive algorithms (MA) return
+several candidates and let the router's VC allocator pick the least congested
+one (escape candidates are marked so the allocator only falls back to them).
+
+VC partitioning: ``vc_range(cls, num_classes, num_vcs)`` splits the VC space
+into contiguous classes — the dateline discipline and two-phase algorithms
+need 2 classes; Duato's MA reserves VC 0 as the escape class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..network.packet import Packet
+from ..topology.base import Topology
+
+__all__ = ["RouteCandidate", "RoutingAlgorithm", "vc_range"]
+
+
+def vc_range(cls: int, num_classes: int, num_vcs: int) -> tuple[int, ...]:
+    """VCs belonging to class ``cls`` of ``num_classes`` over ``num_vcs`` VCs.
+
+    Classes partition the VC space contiguously; every class is non-empty
+    provided ``num_vcs >= num_classes``.
+    """
+    if num_vcs < num_classes:
+        raise ValueError(f"need >= {num_classes} VCs, have {num_vcs}")
+    lo = cls * num_vcs // num_classes
+    hi = (cls + 1) * num_vcs // num_classes
+    return tuple(range(lo, hi))
+
+
+class RouteCandidate:
+    """One admissible (output port, allowed downstream VCs) choice."""
+
+    __slots__ = ("out_port", "vcs", "escape")
+
+    def __init__(self, out_port: int, vcs: Sequence[int], escape: bool = False):
+        self.out_port = out_port
+        self.vcs = tuple(vcs)
+        self.escape = escape
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = " escape" if self.escape else ""
+        return f"RouteCandidate(port={self.out_port}, vcs={self.vcs}{kind})"
+
+
+class RoutingAlgorithm(ABC):
+    """Base class; subclasses are stateless apart from their RNG."""
+
+    name: str = "abstract"
+
+    def __init__(self, topology: Topology, num_vcs: int):
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.all_vcs = tuple(range(num_vcs))
+        # Candidate lists are immutable, so hot routing functions reuse
+        # cached instances instead of allocating per hop.
+        self._eject_candidates = [
+            RouteCandidate(topology.local_port, self.all_vcs)
+        ]
+
+    def on_inject(self, packet: Packet) -> None:
+        """Prepare per-packet routing state at injection (e.g. pick an
+        intermediate node).  Default: nothing."""
+
+    @abstractmethod
+    def route(self, node: int, packet: Packet) -> list[RouteCandidate]:
+        """Candidates for the next hop of ``packet`` at ``node``.
+
+        Called exactly once per (packet, hop), when the head flit reaches the
+        front of its input VC; implementations may update the packet's
+        routing state (phase advance, dateline class).  A candidate whose
+        ``out_port`` equals the topology's local port means *eject here*.
+        """
+
+    # -- shared helpers -----------------------------------------------------
+    def _eject(self) -> list[RouteCandidate]:
+        return self._eject_candidates

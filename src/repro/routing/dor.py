@@ -1,0 +1,139 @@
+"""Dimension-ordered routing (DOR), the paper's baseline.
+
+On a mesh, DOR is deadlock-free in any VC; on rings and tori the wraparound
+links close a channel-dependency cycle, broken with Dally's *dateline*
+scheme.  We use the standard balanced variant: within each dimension, a leg
+that will traverse the wraparound edge rides VC class 0 until the crossing
+and class 1 afterwards, while a leg that never wraps rides class 1.  The
+class is a pure function of (position after the hop, target), so no
+per-packet state is needed.
+
+Deadlock freedom: class-0 channel dependencies never include the wrap edge
+(the crossing hop allocates class 1 downstream), so the class-0 chain is
+open; class-1 dependencies never *reach* the wrap edge (post-crossing and
+non-wrapping packets have no further wrap to take), so the class-1 chain is
+open too, and there are no class-1 → class-0 edges to weave a mixed cycle.
+"""
+
+from __future__ import annotations
+
+from ..network.packet import Packet
+from ..topology.mesh import KAryNCube
+from .base import RouteCandidate, RoutingAlgorithm, vc_range
+
+__all__ = ["DOR", "dor_port"]
+
+
+def dor_port(topo: KAryNCube, node: int, target: int) -> int:
+    """The DOR output port from ``node`` toward ``target`` (-1 if arrived).
+
+    Shared by plain DOR and the two-phase overlays (VAL, ROMM), which route
+    each phase dimension-ordered toward the phase's target.
+    """
+    for dim in range(topo.n):
+        direction = topo.direction(node, target, dim)
+        if direction > 0:
+            return 2 * dim
+        if direction < 0:
+            return 2 * dim + 1
+    return -1
+
+
+class DOR(RoutingAlgorithm):
+    """Deterministic dimension-ordered (e-cube) routing on k-ary n-cubes.
+
+    ``dateline_mode`` selects the VC discipline on wrapped topologies:
+
+    * ``"balanced"`` (default) — non-wrapping legs ride class 1, wrapping
+      legs class 0 → 1 at the crossing; both classes carry traffic.
+    * ``"strict"`` — the textbook scheme: every packet starts in class 0
+      and only moves to class 1 after crossing the wrap edge, leaving
+      class 1 nearly idle for typical traffic.  Kept for the ablation
+      study (``benchmarks/test_ablation_dateline.py``), which shows how
+      much torus/ring throughput the naive discipline costs.
+    """
+
+    name = "dor"
+
+    def __init__(
+        self, topology: KAryNCube, num_vcs: int, *, dateline_mode: str = "balanced"
+    ):
+        if not isinstance(topology, KAryNCube):
+            raise TypeError("DOR requires a k-ary n-cube topology")
+        if dateline_mode not in ("balanced", "strict"):
+            raise ValueError(f"unknown dateline_mode {dateline_mode!r}")
+        super().__init__(topology, num_vcs)
+        self._wrap = topology.wrap
+        self.dateline_mode = dateline_mode
+        if self._wrap and num_vcs < 2:
+            raise ValueError("DOR on a wrapped topology needs >= 2 VCs (dateline)")
+        self._classes = (
+            (vc_range(0, 2, num_vcs), vc_range(1, 2, num_vcs)) if self._wrap else None
+        )
+        # Pre-built candidate lists (immutable, shared across hops): one per
+        # output port on the mesh, one per (port, class) on wrapped
+        # topologies.
+        ports = 2 * topology.n
+        if self._wrap:
+            self._cands = [
+                [
+                    [RouteCandidate(port, self._classes[cls])]
+                    for cls in (0, 1)
+                ]
+                for port in range(ports)
+            ]
+        else:
+            self._cands = [
+                [RouteCandidate(port, self.all_vcs)] for port in range(ports)
+            ]
+
+    def route(self, node: int, packet: Packet) -> list[RouteCandidate]:
+        topo: KAryNCube = self.topology  # type: ignore[assignment]
+        target = packet.current_target()
+        if node == target:
+            if packet.phase == 0 and packet.intermediate is not None:
+                # Reached the intermediate of a two-phase overlay (VAL/ROMM
+                # reuse DOR per phase) — not used by plain DOR itself.
+                packet.phase = 1
+                target = packet.dst
+                if node == target:
+                    return self._eject()
+            else:
+                return self._eject()
+        for dim in range(topo.n):
+            direction = topo.direction(node, target, dim)
+            if direction == 0:
+                continue
+            port = 2 * dim if direction > 0 else 2 * dim + 1
+            if not self._wrap:
+                return self._cands[port]
+            # Dateline discipline: the class is decided by the position the
+            # hop lands on — class 0 while the remaining leg still has the
+            # wrap edge ahead, class 1 from the crossing onwards (and for
+            # legs that never wrap).
+            k = topo.k
+            a = topo.coords(node)[dim]
+            b = topo.coords(target)[dim]
+            if direction > 0:
+                landing = 0 if a == k - 1 else a + 1
+                wraps_after = b < landing
+            else:
+                landing = k - 1 if a == 0 else a - 1
+                wraps_after = b > landing
+            if self.dateline_mode == "balanced":
+                cls = 0 if wraps_after else 1
+                return self._cands[port][cls]
+            else:
+                # strict: class 1 only after an actual crossing.  Whether
+                # this packet's leg wraps at all is recomputed from its
+                # source coordinate; non-wrapping legs stay in class 0.
+                s = topo.coords(packet.src)[dim]
+                if direction > 0:
+                    leg_wraps = b < s
+                    crossed = leg_wraps and landing <= b
+                else:
+                    leg_wraps = b > s
+                    crossed = leg_wraps and landing >= b
+                cls = 1 if crossed else 0
+            return self._cands[port][cls]
+        return self._eject()  # pragma: no cover - target==node handled above

@@ -1,0 +1,49 @@
+"""Minimal adaptive routing (MA) with Duato-style escape channels.
+
+At each hop the packet may move in *any* productive dimension (one that
+reduces its distance), choosing adaptively; the router's VC allocator picks
+the candidate with the most downstream credit, so the algorithm load-balances
+around congestion while staying minimal.  Deadlock freedom follows Duato's
+protocol: VC 0 is an escape channel restricted to dimension-ordered routing
+(acyclic on the mesh), and a blocked packet can always fall back to it.
+"""
+
+from __future__ import annotations
+
+from ..network.packet import Packet
+from ..topology.mesh import KAryNCube
+from .base import RouteCandidate, RoutingAlgorithm
+from .dor import dor_port
+
+__all__ = ["MinimalAdaptive"]
+
+
+class MinimalAdaptive(RoutingAlgorithm):
+    """Minimal adaptive routing on a mesh (Duato escape protocol)."""
+
+    name = "ma"
+
+    def __init__(self, topology: KAryNCube, num_vcs: int):
+        if not isinstance(topology, KAryNCube) or topology.wrap:
+            raise TypeError("MA is implemented for meshes (as in the paper)")
+        if num_vcs < 2:
+            raise ValueError("MA needs >= 2 VCs (escape + adaptive)")
+        super().__init__(topology, num_vcs)
+        self._adaptive_vcs = tuple(range(1, num_vcs))
+        self._escape_vcs = (0,)
+
+    def route(self, node: int, packet: Packet) -> list[RouteCandidate]:
+        topo: KAryNCube = self.topology  # type: ignore[assignment]
+        target = packet.dst
+        if node == target:
+            return self._eject()
+        candidates: list[RouteCandidate] = []
+        for dim in range(topo.n):
+            direction = topo.direction(node, target, dim)
+            if direction == 0:
+                continue
+            port = 2 * dim if direction > 0 else 2 * dim + 1
+            candidates.append(RouteCandidate(port, self._adaptive_vcs))
+        escape_port = dor_port(topo, node, target)
+        candidates.append(RouteCandidate(escape_port, self._escape_vcs, escape=True))
+        return candidates

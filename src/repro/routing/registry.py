@@ -1,0 +1,31 @@
+"""Routing registry: build an algorithm from a :class:`NetworkConfig`."""
+
+from __future__ import annotations
+
+from .. import rng as rng_mod
+from ..config import NetworkConfig
+from ..topology.base import Topology
+from .base import RoutingAlgorithm
+from .dor import DOR
+from .minimal_adaptive import MinimalAdaptive
+from .romm import ROMM
+from .valiant import Valiant
+
+__all__ = ["build_routing"]
+
+
+def build_routing(config: NetworkConfig, topology: Topology) -> RoutingAlgorithm:
+    """Construct the routing algorithm named by ``config.routing``.
+
+    Randomized algorithms derive their RNG stream from ``config.seed`` so a
+    configuration reproduces bit-identically.
+    """
+    if config.routing == "dor":
+        return DOR(topology, config.num_vcs, dateline_mode=config.dateline)
+    if config.routing == "val":
+        return Valiant(topology, config.num_vcs, seed=rng_mod.spawn(config.seed, "routing"))
+    if config.routing == "romm":
+        return ROMM(topology, config.num_vcs, seed=rng_mod.spawn(config.seed, "routing"))
+    if config.routing == "ma":
+        return MinimalAdaptive(topology, config.num_vcs)
+    raise ValueError(f"unknown routing {config.routing!r}")

@@ -1,0 +1,73 @@
+"""ROMM: Randomized, Oblivious, Multi-phase Minimal routing (Nesson &
+Johnsson, SPAA '95).
+
+Like Valiant, ROMM routes through a random intermediate node in two
+dimension-ordered phases — but the intermediate is drawn from the *minimal
+quadrant* (the sub-array spanned by source and destination), so every route
+stays minimal while still spreading load across the quadrant's path
+diversity.  Phases map to VC classes exactly as in VAL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..network.packet import Packet
+from ..topology.mesh import KAryNCube
+from .base import RouteCandidate, RoutingAlgorithm, vc_range
+from .dor import dor_port
+
+__all__ = ["ROMM"]
+
+
+class ROMM(RoutingAlgorithm):
+    """Two-phase randomized minimal routing on a mesh."""
+
+    name = "romm"
+
+    def __init__(self, topology: KAryNCube, num_vcs: int, *, seed: int = 1):
+        if not isinstance(topology, KAryNCube) or topology.wrap:
+            raise TypeError("ROMM is implemented for meshes (as in the paper)")
+        if num_vcs < 2:
+            raise ValueError("ROMM needs >= 2 VCs (one class per phase)")
+        super().__init__(topology, num_vcs)
+        self._phase_vcs = (vc_range(0, 2, num_vcs), vc_range(1, 2, num_vcs))
+        # Immutable candidate lists cached per (output port, phase).
+        self._cands = [
+            [[RouteCandidate(port, self._phase_vcs[ph])] for ph in (0, 1)]
+            for port in range(2 * topology.n)
+        ]
+        self._rng: np.random.Generator = rng_mod.make_generator(seed, "romm")
+
+    def pick_intermediate(self, packet: Packet) -> int:
+        """Uniform node within the minimal quadrant of (src, dst)."""
+        topo: KAryNCube = self.topology  # type: ignore[assignment]
+        src_c = topo.coords(packet.src)
+        dst_c = topo.coords(packet.dst)
+        inter = []
+        for dim in range(topo.n):
+            lo, hi = sorted((src_c[dim], dst_c[dim]))
+            inter.append(int(self._rng.integers(lo, hi + 1)))
+        return topo.node_at(inter)
+
+    def on_inject(self, packet: Packet) -> None:
+        packet.intermediate = self.pick_intermediate(packet)
+        packet.phase = 0
+
+    def route(self, node: int, packet: Packet) -> list[RouteCandidate]:
+        topo: KAryNCube = self.topology  # type: ignore[assignment]
+        if packet.phase == 0 and node == packet.intermediate:
+            packet.phase = 1
+        target = packet.dst if packet.phase == 1 else packet.intermediate
+        assert target is not None
+        port = dor_port(topo, node, target)
+        if port < 0:
+            if packet.phase == 0:
+                packet.phase = 1
+                port = dor_port(topo, node, packet.dst)
+                if port < 0:
+                    return self._eject()
+            else:
+                return self._eject()
+        return self._cands[port][packet.phase]

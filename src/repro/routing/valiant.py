@@ -1,0 +1,70 @@
+"""Valiant's randomized routing (VAL).
+
+Every packet is routed dimension-ordered to a uniformly random intermediate
+node (phase 0), then dimension-ordered to its destination (phase 1).  Each
+phase occupies its own VC class, so the combined route is deadlock-free on a
+mesh.  VAL trades zero-load latency (up to 2× hops) for load balance on
+adversarial permutations — except, as the paper's Fig. 12 shows, for
+corner-to-corner transpose pairs where even the randomized route degenerates
+to minimal, which is why worst-case (closed-loop) measurements see almost no
+benefit from VAL at low load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..network.packet import Packet
+from ..topology.mesh import KAryNCube
+from .base import RouteCandidate, RoutingAlgorithm, vc_range
+from .dor import dor_port
+
+__all__ = ["Valiant"]
+
+
+class Valiant(RoutingAlgorithm):
+    """Two-phase randomized oblivious routing on a mesh."""
+
+    name = "val"
+
+    def __init__(self, topology: KAryNCube, num_vcs: int, *, seed: int = 1):
+        if not isinstance(topology, KAryNCube) or topology.wrap:
+            raise TypeError("Valiant is implemented for meshes (as in the paper)")
+        if num_vcs < 2:
+            raise ValueError("Valiant needs >= 2 VCs (one class per phase)")
+        super().__init__(topology, num_vcs)
+        self._phase_vcs = (vc_range(0, 2, num_vcs), vc_range(1, 2, num_vcs))
+        # Immutable candidate lists cached per (output port, phase).
+        self._cands = [
+            [[RouteCandidate(port, self._phase_vcs[ph])] for ph in (0, 1)]
+            for port in range(2 * topology.n)
+        ]
+        self._rng: np.random.Generator = rng_mod.make_generator(seed, "valiant")
+
+    def pick_intermediate(self, packet: Packet) -> int:
+        """Uniformly random intermediate over all nodes (may equal src/dst)."""
+        return int(self._rng.integers(0, self.topology.num_nodes))
+
+    def on_inject(self, packet: Packet) -> None:
+        packet.intermediate = self.pick_intermediate(packet)
+        packet.phase = 0
+
+    def route(self, node: int, packet: Packet) -> list[RouteCandidate]:
+        topo: KAryNCube = self.topology  # type: ignore[assignment]
+        if packet.phase == 0 and node == packet.intermediate:
+            packet.phase = 1
+        target = packet.dst if packet.phase == 1 else packet.intermediate
+        assert target is not None
+        port = dor_port(topo, node, target)
+        if port < 0:
+            if packet.phase == 0:
+                # Intermediate reached exactly at the destination column/row
+                # start; advance and retry toward the true destination.
+                packet.phase = 1
+                port = dor_port(topo, node, packet.dst)
+                if port < 0:
+                    return self._eject()
+            else:
+                return self._eject()
+        return self._cands[port][packet.phase]

@@ -1,0 +1,19 @@
+"""Network topologies: mesh, folded torus, ring, and the ideal network."""
+
+from .base import Channel, Topology
+from .ideal import Ideal
+from .mesh import KAryNCube, Mesh
+from .registry import build_topology
+from .ring import Ring
+from .torus import Torus
+
+__all__ = [
+    "Channel",
+    "Topology",
+    "KAryNCube",
+    "Mesh",
+    "Torus",
+    "Ring",
+    "Ideal",
+    "build_topology",
+]

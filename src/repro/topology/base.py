@@ -1,0 +1,118 @@
+"""Topology abstraction.
+
+A topology defines the routers, the directed channels between them, and the
+coordinate system routing algorithms reason about.  Channels are addressed by
+*output port index* at the upstream router; each network output port maps to
+exactly one (downstream router, downstream input port) pair.
+
+Port numbering convention for an ``n``-dimensional topology:
+
+* ports ``2*d``   — positive direction in dimension ``d``
+* ports ``2*d+1`` — negative direction in dimension ``d``
+* port  ``2*n``   — injection (as an input port) / ejection (as an output
+  port) at the local node.
+
+A port that does not exist (e.g. the +x port of the right edge of a mesh) has
+no channel; :meth:`Topology.channel` returns ``None`` for it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["Channel", "Topology"]
+
+
+class Channel:
+    """A directed link: upstream (router, out_port) → downstream (router, in_port)."""
+
+    __slots__ = ("src", "out_port", "dst", "in_port", "delay")
+
+    def __init__(self, src: int, out_port: int, dst: int, in_port: int, delay: int):
+        self.src = src
+        self.out_port = out_port
+        self.dst = dst
+        self.in_port = in_port
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.src}:{self.out_port} -> {self.dst}:{self.in_port},"
+            f" delay={self.delay})"
+        )
+
+
+class Topology(ABC):
+    """Abstract base: a set of routers joined by directed channels."""
+
+    #: subclass name used by the registry
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Number of routers (== number of terminal nodes; concentration 1)."""
+
+    @property
+    @abstractmethod
+    def num_dims(self) -> int:
+        """Dimensionality ``n`` (determines the port layout)."""
+
+    @property
+    def num_network_ports(self) -> int:
+        """Network (non-local) ports per router."""
+        return 2 * self.num_dims
+
+    @property
+    def local_port(self) -> int:
+        """Index of the injection/ejection port."""
+        return 2 * self.num_dims
+
+    @property
+    def ports_per_router(self) -> int:
+        """Total ports per router including the local port."""
+        return self.num_network_ports + 1
+
+    @abstractmethod
+    def channel(self, node: int, out_port: int) -> Optional[Channel]:
+        """The channel leaving ``node`` through ``out_port`` (None if absent)."""
+
+    @abstractmethod
+    def coords(self, node: int) -> tuple[int, ...]:
+        """Coordinate vector of ``node``."""
+
+    @abstractmethod
+    def node_at(self, coords: Sequence[int]) -> int:
+        """Node id at a coordinate vector."""
+
+    @abstractmethod
+    def min_hops(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+
+    def channels(self) -> Iterator[Channel]:
+        """Iterate over every channel in the network."""
+        for node in range(self.num_nodes):
+            for port in range(self.num_network_ports):
+                ch = self.channel(node, port)
+                if ch is not None:
+                    yield ch
+
+    def average_min_hops(self) -> float:
+        """Average minimal hop count over all src != dst pairs."""
+        n = self.num_nodes
+        total = sum(
+            self.min_hops(s, d) for s in range(n) for d in range(n) if s != d
+        )
+        return total / (n * (n - 1))
+
+    def validate(self) -> None:
+        """Sanity-check channel wiring; raises AssertionError on a bad build."""
+        seen_inputs: set[tuple[int, int]] = set()
+        for ch in self.channels():
+            assert 0 <= ch.src < self.num_nodes
+            assert 0 <= ch.dst < self.num_nodes
+            assert ch.delay >= 1
+            key = (ch.dst, ch.in_port)
+            assert key not in seen_inputs, f"two channels feed input {key}"
+            seen_inputs.add(key)

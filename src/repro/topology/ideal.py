@@ -1,0 +1,53 @@
+"""Ideal (fully connected, single-cycle) topology.
+
+The paper's NAR definition (§IV-C1, footnote 7) is relative to "a fully
+connected network with infinite bandwidth between the nodes and single cycle
+latency".  This topology backs :class:`repro.network.ideal.IdealNetwork`,
+which bypasses the router pipeline entirely; it still exposes the Topology
+interface so traffic patterns and analysis code can treat it uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import Channel, Topology
+
+__all__ = ["Ideal"]
+
+
+class Ideal(Topology):
+    """Fully connected single-cycle network of ``num_nodes`` nodes."""
+
+    name = "ideal"
+
+    def __init__(self, num_nodes: int = 64, *, latency: int = 1):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if latency < 1:
+            raise ValueError("latency must be >= 1")
+        self._num_nodes = num_nodes
+        self.latency = latency
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_dims(self) -> int:
+        # One "dimension" with a direct port to every other node; the port
+        # layout of k-ary cubes does not apply, so routers are never built on
+        # this topology (IdealNetwork bypasses them).
+        return 1
+
+    def channel(self, node: int, out_port: int) -> Optional[Channel]:
+        return None
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        return (node,)
+
+    def node_at(self, coords: Sequence[int]) -> int:
+        return int(coords[0])
+
+    def min_hops(self, src: int, dst: int) -> int:
+        return 0 if src == dst else 1

@@ -1,0 +1,133 @@
+"""k-ary n-cube meshes and the shared coordinate machinery.
+
+:class:`KAryNCube` implements the coordinate arithmetic shared by the mesh
+(no wraparound) and the torus/ring (wraparound, see
+:mod:`repro.topology.torus`).  The paper's "8-ary 2-cube (2D mesh)" is
+``Mesh(k=8, n=2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import Channel, Topology
+
+__all__ = ["KAryNCube", "Mesh"]
+
+
+class KAryNCube(Topology):
+    """Common base for k-ary n-cube networks (radix ``k``, dimension ``n``).
+
+    ``wrap`` selects torus (True) or mesh (False) edge behaviour;
+    ``channel_delay`` is the per-link latency (folded tori double it).
+    """
+
+    name = "karyncube"
+
+    def __init__(self, k: int, n: int, *, wrap: bool, channel_delay: int = 1):
+        if k < 2:
+            raise ValueError("k must be >= 2")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if channel_delay < 1:
+            raise ValueError("channel_delay must be >= 1")
+        self.k = k
+        self.n = n
+        self.wrap = wrap
+        self.channel_delay = channel_delay
+        self._num_nodes = k**n
+        # Precompute coordinate tables: coords[node] -> tuple.
+        self._coords: list[tuple[int, ...]] = []
+        for node in range(self._num_nodes):
+            c, rem = [], node
+            for _ in range(n):
+                c.append(rem % k)
+                rem //= k
+            self._coords.append(tuple(c))
+        # Precompute channels, indexed [node][port].
+        self._channels: list[list[Optional[Channel]]] = [
+            [self._build_channel(node, port) for port in range(2 * n)]
+            for node in range(self._num_nodes)
+        ]
+
+    # -- construction -----------------------------------------------------
+    def _build_channel(self, node: int, port: int) -> Optional[Channel]:
+        dim, positive = divmod(port, 2)
+        positive = positive == 0
+        c = list(self._coords[node])
+        if positive:
+            nxt = c[dim] + 1
+            if nxt == self.k:
+                if not self.wrap:
+                    return None
+                nxt = 0
+        else:
+            nxt = c[dim] - 1
+            if nxt < 0:
+                if not self.wrap:
+                    return None
+                nxt = self.k - 1
+        c[dim] = nxt
+        dst = self.node_at(c)
+        # A +dim channel lands on the -dim input port of the neighbour and
+        # vice versa (the neighbour sees the flit arriving from "below").
+        in_port = 2 * dim + (1 if positive else 0)
+        return Channel(node, port, dst, in_port, self.channel_delay)
+
+    # -- Topology API ------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_dims(self) -> int:
+        return self.n
+
+    def channel(self, node: int, out_port: int) -> Optional[Channel]:
+        return self._channels[node][out_port]
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        return self._coords[node]
+
+    def node_at(self, coords: Sequence[int]) -> int:
+        node = 0
+        for d in reversed(range(self.n)):
+            node = node * self.k + (coords[d] % self.k)
+        return node
+
+    def dim_distance(self, a: int, b: int, dim: int) -> int:
+        """Minimal per-dimension distance from coord a to b."""
+        delta = abs(self._coords[b][dim] - self._coords[a][dim])
+        if self.wrap:
+            return min(delta, self.k - delta)
+        return delta
+
+    def min_hops(self, src: int, dst: int) -> int:
+        return sum(self.dim_distance(src, dst, d) for d in range(self.n))
+
+    def direction(self, src: int, dst: int, dim: int) -> int:
+        """Preferred travel direction in ``dim``: +1, -1 or 0 (aligned).
+
+        On a torus, ties at distance k/2 break toward the positive direction
+        so routing stays deterministic.
+        """
+        a = self._coords[src][dim]
+        b = self._coords[dst][dim]
+        if a == b:
+            return 0
+        if not self.wrap:
+            return 1 if b > a else -1
+        fwd = (b - a) % self.k
+        bwd = (a - b) % self.k
+        if fwd <= bwd:
+            return 1
+        return -1
+
+
+class Mesh(KAryNCube):
+    """k-ary n-cube mesh (no wraparound links); the paper's baseline."""
+
+    name = "mesh"
+
+    def __init__(self, k: int = 8, n: int = 2, *, channel_delay: int = 1):
+        super().__init__(k, n, wrap=False, channel_delay=channel_delay)

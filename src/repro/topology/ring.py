@@ -1,0 +1,33 @@
+"""Bidirectional ring topology.
+
+A ring is a k-ary 1-cube torus.  Like the torus it is drawn folded on chip,
+so the default channel delay is doubled; pass ``channel_delay_multiplier=1``
+for an unfolded ring.  The 64-node ring is the low-bisection extreme of the
+paper's topology comparison (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from .torus import Torus
+
+__all__ = ["Ring"]
+
+
+class Ring(Torus):
+    """Bidirectional ring on ``num_nodes`` nodes (k-ary 1-cube)."""
+
+    name = "ring"
+
+    def __init__(
+        self,
+        num_nodes: int = 64,
+        *,
+        base_channel_delay: int = 1,
+        channel_delay_multiplier: int = 2,
+    ):
+        super().__init__(
+            k=num_nodes,
+            n=1,
+            base_channel_delay=base_channel_delay,
+            channel_delay_multiplier=channel_delay_multiplier,
+        )

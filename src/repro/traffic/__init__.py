@@ -1,0 +1,37 @@
+"""Synthetic traffic: spatial patterns and packet-size distributions."""
+
+from .patterns import (
+    BitComplement,
+    BitReversal,
+    HotSpot,
+    Neighbor,
+    PermutationPattern,
+    Tornado,
+    TrafficPattern,
+    Transpose,
+    UniformRandom,
+)
+from .process import Bernoulli, InjectionProcess, MarkovOnOff
+from .registry import build_pattern, build_sizes
+from .sizes import Bimodal, FixedSize, SingleFlit, SizeDistribution
+
+__all__ = [
+    "TrafficPattern",
+    "PermutationPattern",
+    "UniformRandom",
+    "Transpose",
+    "BitComplement",
+    "BitReversal",
+    "Neighbor",
+    "Tornado",
+    "HotSpot",
+    "InjectionProcess",
+    "Bernoulli",
+    "MarkovOnOff",
+    "SizeDistribution",
+    "SingleFlit",
+    "FixedSize",
+    "Bimodal",
+    "build_pattern",
+    "build_sizes",
+]

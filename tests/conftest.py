@@ -1,0 +1,35 @@
+"""Shared fixtures: small, fast configurations used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CmpConfig, NetworkConfig
+
+
+@pytest.fixture
+def mesh4() -> NetworkConfig:
+    """4x4 mesh baseline — small enough for fast cycle-level tests."""
+    return NetworkConfig(k=4, n=2)
+
+
+@pytest.fixture
+def mesh8() -> NetworkConfig:
+    """The paper's 8x8 baseline."""
+    return NetworkConfig(k=8, n=2)
+
+
+@pytest.fixture
+def torus4() -> NetworkConfig:
+    return NetworkConfig(topology="torus", k=4, n=2)
+
+
+@pytest.fixture
+def ring16() -> NetworkConfig:
+    return NetworkConfig(topology="ring", k=4, n=2)
+
+
+@pytest.fixture
+def cmp_small() -> CmpConfig:
+    """16-core CMP with small caches so miss behaviour shows up quickly."""
+    return CmpConfig(l1_lines=64, l1_assoc=4, l2_lines_per_tile=256, l2_assoc=8)

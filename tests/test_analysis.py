@@ -1,0 +1,98 @@
+"""Tests for the reporting helpers (tables and ASCII plots)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    ascii_scatter,
+    format_matrix,
+    format_records,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["a", 1.23456], ["bb", 2]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.2346" in out  # default precision 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.startswith("Table I")
+
+    def test_special_floats(self):
+        out = format_table(["v"], [[float("inf")], [float("nan")]])
+        assert "inf" in out and "nan" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatRecords:
+    def test_renders_dicts(self):
+        recs = [{"tr": 1, "lat": 10.0}, {"tr": 2, "lat": 15.5}]
+        out = format_records(recs)
+        assert "tr" in out and "15.5" in out
+
+    def test_column_selection(self):
+        recs = [{"a": 1, "b": 2}]
+        out = format_records(recs, columns=["b"])
+        assert "b" in out and "a" not in out.splitlines()[0]
+
+    def test_empty(self):
+        assert format_records([], title="empty") == "empty"
+
+
+class TestFormatMatrix:
+    def test_shape_and_shading(self):
+        m = np.array([[0.0, 1.0], [0.5, 0.0]])
+        out = format_matrix(m)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert len(lines[0]) == 4  # two chars per cell
+        assert "@" in lines[0]  # the 1.0 cell is darkest
+        assert lines[1][0] != " "  # 0.5 cell mid-shade
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            format_matrix(np.arange(4))
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=8,
+            title="T",
+        )
+        assert out.startswith("T")
+        assert "o a" in out and "x b" in out
+
+    def test_drops_non_finite(self):
+        out = ascii_plot({"a": [(0, 1), (1, float("inf")), (2, 2)]}, width=20, height=6)
+        assert "inf" not in out.splitlines()[1]
+
+    def test_all_non_finite(self):
+        out = ascii_plot({"a": [(0, float("inf"))]})
+        assert "no finite points" in out
+
+
+class TestAsciiScatter:
+    def test_plots_points(self):
+        out = ascii_scatter([(1, 1), (2, 2), (3, 2.5)], width=20, height=8)
+        assert "o" in out
+
+    def test_diagonal_reference(self):
+        out = ascii_scatter([(0, 0), (10, 10)], width=20, height=8, diagonal=True)
+        assert "." in out
+
+    def test_empty(self):
+        assert "no finite points" in ascii_scatter([])

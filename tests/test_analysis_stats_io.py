@@ -1,0 +1,182 @@
+"""Tests for simulation statistics and record persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import rng as rng_mod
+from repro.analysis import (
+    batch_means,
+    confidence_interval,
+    index_of_dispersion,
+    load_records,
+    records_from_csv,
+    records_to_csv,
+    save_records,
+    warmup_cutoff,
+)
+from repro.traffic import Bernoulli, MarkovOnOff
+
+
+class TestConfidenceInterval:
+    def test_basic_properties(self):
+        rng = np.random.default_rng(0)
+        ci = confidence_interval(rng.normal(10, 2, size=5000))
+        assert ci.contains(10.0)
+        assert ci.low < ci.mean < ci.high
+        assert ci.relative_half_width < 0.02
+        assert ci.n == 5000
+
+    def test_confidence_widens_interval(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(0, 1, 1000)
+        narrow = confidence_interval(data, confidence=0.90)
+        wide = confidence_interval(data, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_coverage_approximately_nominal(self):
+        rng = np.random.default_rng(2)
+        hits = sum(
+            confidence_interval(rng.normal(5, 1, 200)).contains(5.0)
+            for _ in range(300)
+        )
+        assert hits / 300 == pytest.approx(0.95, abs=0.04)
+
+    def test_overlap(self):
+        rng = np.random.default_rng(3)
+        a = confidence_interval(rng.normal(0, 1, 500))
+        b = confidence_interval(rng.normal(0, 1, 500))
+        c = confidence_interval(rng.normal(10, 1, 500))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=0.5)
+
+    def test_drops_non_finite(self):
+        ci = confidence_interval([1.0, 2.0, float("inf"), 3.0, float("nan")])
+        assert ci.n == 3
+
+
+class TestBatchMeans:
+    def test_correlated_series_gets_wider_ci_than_naive(self):
+        # an AR(1)-like correlated series
+        rng = np.random.default_rng(4)
+        x = np.zeros(20000)
+        for i in range(1, x.size):
+            x[i] = 0.95 * x[i - 1] + rng.normal()
+        naive = confidence_interval(x)
+        honest = batch_means(x, num_batches=20)
+        assert honest.half_width > 2 * naive.half_width
+
+    def test_iid_series_similar_either_way(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 1, 20000)
+        naive = confidence_interval(x)
+        bm = batch_means(x, num_batches=20)
+        assert bm.half_width == pytest.approx(naive.half_width, rel=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means(np.arange(10), num_batches=20)
+        with pytest.raises(ValueError):
+            batch_means(np.arange(100), num_batches=1)
+
+
+class TestWarmupCutoff:
+    def test_detects_transient(self):
+        rng = np.random.default_rng(6)
+        transient = np.linspace(100, 10, 400)  # decaying start
+        steady = rng.normal(10, 1, 4000)
+        cut = warmup_cutoff(np.concatenate([transient, steady]))
+        assert 150 <= cut <= 900
+
+    def test_no_transient_small_cut(self):
+        rng = np.random.default_rng(7)
+        cut = warmup_cutoff(rng.normal(5, 1, 4000))
+        assert cut < 2000  # capped at max_fraction anyway
+
+    def test_short_series(self):
+        assert warmup_cutoff([1.0, 2.0]) == 0
+
+
+class TestIndexOfDispersion:
+    def test_bernoulli_near_one(self):
+        gen = rng_mod.make_generator(8, "iod")
+        proc = Bernoulli(64, 0.1)
+        counts = [len(proc.arrivals(gen)) for _ in range(12000)]
+        assert index_of_dispersion(counts) == pytest.approx(1.0, abs=0.3)
+
+    def test_bursty_much_greater_than_one(self):
+        gen = rng_mod.make_generator(8, "iod2")
+        proc = MarkovOnOff.for_average_rate(64, 0.1, burst_length=40)
+        counts = [len(proc.arrivals(gen)) for _ in range(12000)]
+        assert index_of_dispersion(counts) > 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            index_of_dispersion([1, 2, 3], window=50)
+        with pytest.raises(ValueError):
+            index_of_dispersion(np.ones(200), window=0)
+
+
+class TestRecordPersistence:
+    RECORDS = [
+        {"topology": "mesh", "tr": 1, "latency": 11.5, "saturated": False},
+        {"topology": "torus", "tr": 2, "latency": 19.0, "saturated": True},
+    ]
+
+    def test_csv_roundtrip_types(self):
+        out = records_from_csv(records_to_csv(self.RECORDS))
+        assert out == self.RECORDS
+
+    def test_csv_union_of_keys(self):
+        recs = [{"a": 1}, {"b": 2}]
+        out = records_from_csv(records_to_csv(recs))
+        assert out[0] == {"a": 1, "b": ""}
+        assert out[1] == {"a": "", "b": 2}
+
+    def test_empty(self):
+        assert records_to_csv([]) == ""
+        assert records_from_csv("") == []
+
+    def test_save_load_csv(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        save_records(self.RECORDS, path)
+        assert load_records(path) == self.RECORDS
+
+    def test_save_load_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_records(self.RECORDS, path)
+        assert load_records(path) == self.RECORDS
+
+    def test_unsupported_suffix(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_records(self.RECORDS, tmp_path / "sweep.parquet")
+        with pytest.raises(ValueError):
+            load_records(tmp_path / "sweep.parquet")
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]),
+                st.one_of(st.integers(-1000, 1000), st.booleans()),
+                min_size=1,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_csv_roundtrip_property(self, records):
+        out = records_from_csv(records_to_csv(records))
+        assert len(out) == len(records)
+        for orig, round_tripped in zip(records, out):
+            for k, v in orig.items():
+                assert round_tripped[k] == v

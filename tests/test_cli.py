@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import _parse_reply, build_parser, main
+from repro.core.reply import FixedReply, ImmediateReply, ProbabilisticReply
+
+
+class TestParseReply:
+    def test_immediate(self):
+        assert isinstance(_parse_reply("immediate"), ImmediateReply)
+
+    def test_fixed(self):
+        m = _parse_reply("fixed:50")
+        assert isinstance(m, FixedReply)
+        assert m.latency == 50
+
+    def test_probabilistic(self):
+        m = _parse_reply("prob:20:300:0.1")
+        assert isinstance(m, ProbabilisticReply)
+        assert m.mean == pytest.approx(50.0)
+
+    def test_bad_spec(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_reply("zipf:3")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_openloop_args(self):
+        args = build_parser().parse_args(
+            ["openloop", "--rate", "0.1", "--topology", "torus", "--num-vcs", "4"]
+        )
+        assert args.rate == 0.1
+        assert args.topology == "torus"
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["openloop", "--rate", "0.1", "--topology", "fat-tree"])
+
+
+class TestCommands:
+    def test_openloop(self, capsys):
+        rc = main(
+            [
+                "openloop", "--k", "4", "--rate", "0.1",
+                "--warmup", "100", "--measure", "200", "--drain", "1000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg latency" in out
+        assert "saturated=False" in out
+
+    def test_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep", "--k", "4", "--rates", "0.05,0.2",
+                "--warmup", "100", "--measure", "200", "--drain", "1000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0.05" in out and "0.2" in out
+
+    def test_batch(self, capsys):
+        rc = main(["batch", "--k", "4", "-b", "20", "-m", "2"])
+        assert rc == 0
+        assert "completed=True" in capsys.readouterr().out
+
+    def test_batch_with_models(self, capsys):
+        rc = main(
+            ["batch", "--k", "4", "-b", "15", "-m", "1", "--nar", "0.2",
+             "--reply", "fixed:30"]
+        )
+        assert rc == 0
+        assert "completed=True" in capsys.readouterr().out
+
+    def test_barrier(self, capsys):
+        rc = main(["batch", "--k", "4", "-b", "20", "--barrier"])
+        assert rc == 0
+        assert "barrier model" in capsys.readouterr().out
+
+    def test_cmp_ideal(self, capsys):
+        rc = main(
+            ["cmp", "--benchmark", "fft", "--instructions", "1500", "--ideal"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fft on ideal" in out
+        assert "completed=True" in out
+
+    def test_characterize_single(self, capsys):
+        rc = main(
+            ["characterize", "--benchmark", "blackscholes", "--instructions", "1500"]
+        )
+        assert rc == 0
+        assert "blackscholes" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Tests for configuration validation (paper Tables I & II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    TABLE_I_PARAMETER_SPACE,
+    TABLE_II_PARAMETERS,
+    CmpConfig,
+    NetworkConfig,
+)
+
+
+class TestNetworkConfigDefaults:
+    def test_baseline_is_paper_table1_bold(self):
+        cfg = NetworkConfig()
+        assert cfg.topology == "mesh"
+        assert cfg.k == 8 and cfg.n == 2  # 8x8 2D mesh
+        assert cfg.num_vcs == 2
+        assert cfg.vc_buffer_size == 4
+        assert cfg.router_delay == 1
+        assert cfg.routing == "dor"
+        assert cfg.arbitration == "round_robin"
+        assert cfg.link_delay == 1
+        assert cfg.packet_size == "single"
+        assert cfg.traffic == "uniform_random"
+
+    def test_num_nodes(self):
+        assert NetworkConfig(k=8, n=2).num_nodes == 64
+        assert NetworkConfig(k=16, n=2).num_nodes == 256
+        assert NetworkConfig(topology="ring", k=8, n=2).num_nodes == 64
+        assert NetworkConfig(topology="ideal", k=4, n=2).num_nodes == 16
+
+    def test_mean_packet_size(self):
+        assert NetworkConfig().mean_packet_size == 1.0
+        bi = NetworkConfig(packet_size="bimodal", bimodal_long_fraction=0.5)
+        assert bi.mean_packet_size == pytest.approx(2.5)
+
+    def test_with_returns_modified_copy(self):
+        cfg = NetworkConfig()
+        cfg2 = cfg.with_(router_delay=4)
+        assert cfg2.router_delay == 4
+        assert cfg.router_delay == 1
+        assert cfg2.k == cfg.k
+
+
+class TestNetworkConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"topology": "hypercube"},
+            {"routing": "xy"},
+            {"arbitration": "lottery"},
+            {"traffic": "hotspot99"},
+            {"packet_size": "trimodal"},
+            {"k": 1},
+            {"n": 0},
+            {"num_vcs": 0},
+            {"vc_buffer_size": 0},
+            {"router_delay": 0},
+            {"link_delay": 0},
+            {"credit_delay": -1},
+            {"bimodal_long_fraction": 1.5},
+            {"bimodal_long_size": 1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkConfig(**kwargs)
+
+    def test_wrapped_topologies_need_two_vcs(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(topology="torus", num_vcs=1)
+        with pytest.raises(ValueError):
+            NetworkConfig(topology="ring", num_vcs=1)
+
+    def test_nonminimal_routing_needs_two_vcs(self):
+        for alg in ("val", "ma", "romm"):
+            with pytest.raises(ValueError):
+                NetworkConfig(routing=alg, num_vcs=1)
+
+    def test_routing_algorithms_mesh_only(self):
+        # The paper evaluates VAL/MA/ROMM on the mesh only.
+        for alg in ("val", "ma", "romm"):
+            with pytest.raises(ValueError):
+                NetworkConfig(routing=alg, topology="torus")
+            NetworkConfig(routing=alg, topology="mesh")  # fine
+
+
+class TestCmpConfig:
+    def test_defaults_match_table2(self):
+        cfg = CmpConfig()
+        assert cfg.num_cores == 16
+        assert cfg.l1_lines * cfg.line_bytes == 32 * 1024  # 32 KB
+        assert cfg.l1_assoc == 4
+        assert cfg.l1_latency == 2
+        assert cfg.l2_lines_per_tile * cfg.line_bytes == 512 * 1024  # 512 KB/tile
+        assert cfg.l2_latency == 10
+        assert cfg.memory_latency == 300
+        assert cfg.network.k == 4 and cfg.network.n == 2  # 4-ary 2-cube
+        assert cfg.network.num_vcs == 8
+        assert cfg.network.vc_buffer_size == 4
+
+    def test_network_core_count_must_match(self):
+        with pytest.raises(ValueError):
+            CmpConfig(num_cores=8)
+
+    def test_rejects_non_multiple_assoc(self):
+        with pytest.raises(ValueError):
+            CmpConfig(l1_lines=100, l1_assoc=3)
+
+    def test_rejects_bad_blocking_fraction(self):
+        with pytest.raises(ValueError):
+            CmpConfig(blocking_fraction=1.5)
+
+    def test_with_copies(self):
+        cfg = CmpConfig()
+        cfg2 = cfg.with_(mshrs=4)
+        assert cfg2.mshrs == 4 and cfg.mshrs == 8
+
+
+class TestParameterTables:
+    def test_table1_covers_paper_axes(self):
+        for key in (
+            "topology",
+            "virtual_channels",
+            "vc_buffer_size",
+            "router_delay",
+            "routing",
+            "arbitration",
+            "packet_sizes",
+            "traffic",
+        ):
+            assert key in TABLE_I_PARAMETER_SPACE
+
+    def test_table1_router_delays(self):
+        assert TABLE_I_PARAMETER_SPACE["router_delay"] == (1, 2, 4, 8)
+
+    def test_table2_entries(self):
+        assert "processor" in TABLE_II_PARAMETERS
+        assert "16 in-order" in TABLE_II_PARAMETERS["processor"]

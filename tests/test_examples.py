@@ -1,0 +1,42 @@
+"""The example scripts must stay runnable (quickstart exercised fully)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def test_quickstart_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    assert "saturation throughput" in out
+    assert "closed-loop batch model" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "design_space_exploration.py",
+        "cmp_system_study.py",
+        "os_kernel_effects.py",
+        "trace_driven_pitfall.py",
+    ],
+)
+def test_other_examples_compile_and_import(script):
+    """Heavier examples are syntax/import-checked here; the benchmark suite
+    and integration tests cover their code paths."""
+    path = EXAMPLES / script
+    source = path.read_text()
+    compile(source, str(path), "exec")
+    assert '__name__ == "__main__"' in source, "must guard heavy main()"

@@ -1,0 +1,124 @@
+"""Tests for the extension features: hotspot traffic, strict dateline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.config import NetworkConfig
+from repro.network import Network
+from repro.routing import DOR
+from repro.topology import Torus
+from repro.traffic import HotSpot, UniformRandom, build_pattern
+
+
+class TestHotSpot:
+    def test_fraction_of_traffic_hits_hotspot(self):
+        p = HotSpot(16, hotspots=(3,), fraction=0.3)
+        gen = rng_mod.make_generator(1, "h")
+        d = np.array([p.dest(0, gen) for _ in range(4000)])
+        share = (d == 3).mean()
+        assert share == pytest.approx(0.3 + 0.7 / 15, abs=0.04)
+
+    def test_multiple_hotspots(self):
+        p = HotSpot(16, hotspots=(1, 2), fraction=1.0)
+        gen = rng_mod.make_generator(1, "h")
+        d = {p.dest(0, gen) for _ in range(200)}
+        assert d == {1, 2}
+
+    def test_zero_fraction_is_uniform(self):
+        p = HotSpot(16, fraction=0.0)
+        u = UniformRandom(16)
+        gen1 = rng_mod.make_generator(1, "h")
+        # distribution check: all destinations except src appear
+        seen = {p.dest(5, gen1) for _ in range(600)}
+        assert 5 not in seen
+        assert len(seen) == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotSpot(16, hotspots=())
+        with pytest.raises(ValueError):
+            HotSpot(16, hotspots=(99,))
+        with pytest.raises(ValueError):
+            HotSpot(16, fraction=1.5)
+
+    def test_registry(self):
+        p = build_pattern(NetworkConfig(traffic="hotspot", k=4, n=2))
+        assert isinstance(p, HotSpot)
+
+    def test_hotspot_saturates_below_uniform(self):
+        """Hotspot traffic is ejection-limited at the hot node: capacity is
+        far below uniform random."""
+        from repro.core.openloop import OpenLoopSimulator
+
+        cfg = NetworkConfig(k=4, n=2, traffic="hotspot")
+        sim = OpenLoopSimulator(cfg, warmup=200, measure=400, drain_limit=2000)
+        sat_hot = sim.saturation_throughput(tolerance=0.03)
+        uni = OpenLoopSimulator(
+            NetworkConfig(k=4, n=2), warmup=200, measure=400, drain_limit=2000
+        ).saturation_throughput(tolerance=0.03)
+        assert sat_hot < 0.75 * uni
+
+
+class TestStrictDateline:
+    def test_config_accepts_modes(self):
+        NetworkConfig(topology="torus", dateline="strict")
+        NetworkConfig(topology="torus", dateline="balanced")
+        with pytest.raises(ValueError):
+            NetworkConfig(dateline="diagonal")
+
+    def test_dor_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            DOR(Torus(4, 2), 2, dateline_mode="spiral")
+
+    def test_strict_nonwrapping_stays_class0(self):
+        from repro.network.packet import Packet
+
+        t = Torus(8, 2)
+        r = DOR(t, 2, dateline_mode="strict")
+        pkt = Packet(0, 0, 2, 1, 0)
+        assert r.route(0, pkt)[0].vcs == (0,)
+        assert r.route(1, pkt)[0].vcs == (0,)
+
+    def test_strict_wrapping_switches_at_crossing(self):
+        from repro.network.packet import Packet
+
+        t = Torus(8, 2)
+        r = DOR(t, 2, dateline_mode="strict")
+        pkt = Packet(0, 6, 1, 1, 0)  # +x through the wrap: 6,7,0,1
+        assert r.route(6, pkt)[0].vcs == (0,)  # lands 7, pre-crossing
+        assert r.route(7, pkt)[0].vcs == (1,)  # lands 0: crossed
+        assert r.route(0, pkt)[0].vcs == (1,)  # stays high class
+
+    @pytest.mark.parametrize("topo", ["torus", "ring"])
+    def test_strict_mode_deadlock_free_under_load(self, topo):
+        cfg = NetworkConfig(topology=topo, k=4, n=2, dateline="strict")
+        net = Network(cfg)
+        gen = rng_mod.make_generator(9, "strict")
+        pat = UniformRandom(16)
+        offered = 0
+        for _ in range(600):
+            for src in np.nonzero(gen.random(16) < 0.4)[0]:
+                src = int(src)
+                net.offer(net.make_packet(src, pat.dest(src, gen), 2))
+                offered += 1
+            net.step()
+        for _ in range(60000):
+            if net.is_idle():
+                break
+            net.step()
+        assert net.is_idle()
+        assert net.total_packets_delivered == offered
+
+    def test_strict_routes_remain_minimal(self):
+        cfg = NetworkConfig(topology="torus", k=4, n=2, dateline="strict")
+        net = Network(cfg)
+        pkt = net.make_packet(0, 15, 1)
+        net.offer(pkt)
+        for _ in range(200):
+            if net.is_idle():
+                break
+            net.step()
+        assert pkt.hops == net.topology.min_hops(0, 15)

@@ -1,0 +1,83 @@
+"""Cross-consistency tests between drivers and substrates.
+
+These tests tie independent components together: the same workload must
+tell a consistent story whether measured open-loop, closed-loop, or through
+the execution-driven substrate — the paper's whole premise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CmpConfig, NetworkConfig
+from repro.core.closedloop import BatchSimulator
+from repro.core.openloop import OpenLoopSimulator
+from repro.execdriven import CmpSystem, blackscholes, characterize
+
+
+class TestDriverConsistency:
+    def test_batch_m1_latency_matches_openloop_zero_load(self, mesh4):
+        """At m=1 the batch model's average request latency is a zero-load
+        measurement and must agree with the open-loop one."""
+        batch = BatchSimulator(mesh4, batch_size=60, max_outstanding=1).run()
+        ol = OpenLoopSimulator(
+            mesh4, warmup=150, measure=300, drain_limit=1500
+        ).zero_load_latency()
+        assert batch.avg_request_latency == pytest.approx(ol, rel=0.15)
+
+    def test_exec_network_time_bounded_by_ideal_gap(self):
+        """Mesh runtime minus ideal runtime equals time spent on the
+        network; it must be positive and grow with router delay."""
+        spec = blackscholes(2500)
+        ideal = CmpSystem(spec, ideal=True, seed=3).run().cycles
+        gaps = []
+        for tr in (1, 8):
+            cfg = CmpConfig(
+                network=NetworkConfig(
+                    k=4, n=2, num_vcs=8, vc_buffer_size=4, router_delay=tr
+                )
+            )
+            cycles = CmpSystem(spec, cfg, seed=3).run().cycles
+            gaps.append(cycles - ideal)
+        assert gaps[0] > 0
+        assert gaps[1] > gaps[0]
+
+    def test_exec_flit_totals_independent_of_network(self):
+        """The workload's traffic volume is a property of the program, not
+        the network: mesh and ideal runs move the same flits (same seed)."""
+        spec = blackscholes(2000)
+        ideal = CmpSystem(spec, ideal=True, seed=3).run()
+        mesh = CmpSystem(spec, ideal=False, seed=3).run()
+        assert mesh.total_flits == ideal.total_flits
+        assert mesh.requests == ideal.requests
+
+    def test_characterized_nar_bounds_mesh_injection(self):
+        """NAR is defined on the ideal network; on a real mesh the same
+        program can only inject slower (runtime stretches)."""
+        spec = blackscholes(2500)
+        ch = characterize(spec, seed=3)
+        mesh = CmpSystem(spec, ideal=False, seed=3).run()
+        assert mesh.nar <= ch.nar * 1.02
+
+    def test_batch_throughput_bounded_by_openloop_saturation(self, mesh4):
+        sat = OpenLoopSimulator(
+            mesh4, warmup=200, measure=400, drain_limit=2000
+        ).saturation_throughput(tolerance=0.03)
+        theta = BatchSimulator(
+            mesh4, batch_size=250, max_outstanding=48
+        ).run().throughput
+        assert theta <= sat * 1.1
+
+    def test_ideal_network_is_a_lower_bound_for_batch(self, mesh4):
+        """No mesh configuration beats a 1-cycle fully connected network."""
+        from repro.network.ideal import IdealNetwork
+
+        mesh_run = BatchSimulator(mesh4, batch_size=50, max_outstanding=2).run()
+        ideal_run = BatchSimulator(
+            mesh4,
+            batch_size=50,
+            max_outstanding=2,
+            network_factory=lambda cfg: IdealNetwork(cfg.num_nodes),
+        ).run()
+        assert ideal_run.completed
+        assert ideal_run.runtime < mesh_run.runtime

@@ -1,0 +1,236 @@
+"""Integration tests for the cycle-level network simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.config import NetworkConfig
+from repro.network import IdealNetwork, Network
+from repro.traffic import UniformRandom
+
+
+def drain(net, limit=20000):
+    for _ in range(limit):
+        if net.is_idle():
+            return True
+        net.step()
+    return net.is_idle()
+
+
+def send_and_wait(net, src, dst, size=1):
+    pkt = net.make_packet(src, dst, size)
+    net.offer(pkt)
+    assert drain(net)
+    return pkt
+
+
+class TestSinglePacket:
+    def test_delivery_and_fields(self, mesh4):
+        net = Network(mesh4)
+        pkt = send_and_wait(net, 0, 15)
+        assert pkt.deliver_time > 0
+        assert pkt.inject_time == 0
+        assert pkt.hops == 6  # minimal path on 4x4 corner to corner
+
+    def test_zero_load_latency_formula(self, mesh4):
+        # H hops * (tr + link) + source-router pipeline (tr); the tail
+        # ejects the cycle it clears the destination pipeline.
+        for tr in (1, 2, 4):
+            net = Network(mesh4.with_(router_delay=tr))
+            pkt = send_and_wait(net, 0, 15)
+            hops = 6
+            assert pkt.latency == hops * (tr + 1) + tr
+
+    def test_zero_load_ratio_matches_paper(self, mesh8):
+        """§III-B: tr 1->2 and 1->4 scale zero-load latency 1.5x and 2.5x."""
+        lats = {}
+        for tr in (1, 2, 4):
+            net = Network(mesh8.with_(router_delay=tr))
+            lats[tr] = send_and_wait(net, 0, 63).latency
+        # pure hop component dominates for a 14-hop path
+        assert lats[2] / lats[1] == pytest.approx(1.5, abs=0.05)
+        assert lats[4] / lats[1] == pytest.approx(2.5, abs=0.1)
+
+    def test_multiflit_serialization(self, mesh4):
+        net1 = Network(mesh4)
+        lat1 = send_and_wait(net1, 0, 15, size=1).latency
+        net4 = Network(mesh4)
+        lat4 = send_and_wait(net4, 0, 15, size=4).latency
+        assert lat4 == lat1 + 3  # 3 extra flits pipeline behind the head
+
+    def test_self_packet_delivered_locally(self, mesh4):
+        net = Network(mesh4)
+        pkt = send_and_wait(net, 5, 5)
+        assert pkt.hops == 0
+        assert pkt.deliver_time >= 0
+
+    def test_torus_link_delay_visible(self, torus4):
+        net = Network(torus4)
+        pkt = send_and_wait(net, 0, 1)
+        # 1 hop * (tr=1 + link=2) + source pipeline tr
+        assert pkt.latency == 3 + 1
+
+
+class TestConservation:
+    def _run_random(self, cfg, cycles=1500, rate=0.1, seed=3):
+        net = Network(cfg)
+        gen = rng_mod.make_generator(seed, "load")
+        pat = UniformRandom(net.num_nodes)
+        offered = 0
+        offered_flits = 0
+        for _ in range(cycles):
+            for src in np.nonzero(gen.random(net.num_nodes) < rate)[0]:
+                src = int(src)
+                size = 1 + int(gen.random() < 0.3) * 3
+                net.offer(net.make_packet(src, pat.dest(src, gen), size))
+                offered += 1
+                offered_flits += size
+            net.step()
+        assert drain(net)
+        return net, offered, offered_flits
+
+    def test_all_packets_delivered_mesh(self, mesh4):
+        net, offered, offered_flits = self._run_random(mesh4)
+        assert net.total_packets_delivered == offered
+        assert net.total_flits_delivered == offered_flits
+        assert int(net.flit_ejections.sum()) == offered_flits
+        assert int(net.flit_injections.sum()) == offered_flits
+
+    def test_all_packets_delivered_torus(self, torus4):
+        net, offered, _ = self._run_random(torus4)
+        assert net.total_packets_delivered == offered
+
+    def test_all_packets_delivered_ring(self, ring16):
+        net, offered, _ = self._run_random(ring16, rate=0.05)
+        assert net.total_packets_delivered == offered
+
+    @pytest.mark.parametrize("routing", ["val", "ma", "romm"])
+    def test_all_packets_delivered_each_routing(self, routing):
+        cfg = NetworkConfig(k=4, n=2, routing=routing)
+        net, offered, _ = self._run_random(cfg)
+        assert net.total_packets_delivered == offered
+
+    def test_age_arbitration_conserves(self):
+        cfg = NetworkConfig(k=4, n=2, arbitration="age")
+        net, offered, _ = self._run_random(cfg)
+        assert net.total_packets_delivered == offered
+
+    def test_buffers_empty_after_drain(self, mesh4):
+        net, _, _ = self._run_random(mesh4)
+        assert net.buffered_flits() == 0
+        for router in net.routers:
+            assert not router.busy
+            for port in range(router.num_ports):
+                if router.vc_owner[port] is None:
+                    continue
+                for vc in range(router.num_vcs):
+                    assert router.vc_owner[port][vc] is None
+
+    def test_credits_restored_after_drain(self, mesh4):
+        net, _, _ = self._run_random(mesh4)
+        for _ in range(5):  # flush in-flight credit events
+            net.step()
+        for router in net.routers:
+            for port in range(router.num_ports):
+                creds = router.credits[port]
+                if creds is None:
+                    continue
+                assert all(c == mesh4.vc_buffer_size for c in creds)
+
+
+class TestDeterminism:
+    def _run(self, cfg, seed):
+        net = Network(cfg)
+        gen = rng_mod.make_generator(seed, "det")
+        pat = UniformRandom(net.num_nodes)
+        log = []
+        for _ in range(800):
+            for src in np.nonzero(gen.random(net.num_nodes) < 0.15)[0]:
+                src = int(src)
+                net.offer(net.make_packet(src, pat.dest(src, gen), 1))
+            for pkt in net.step():
+                log.append((pkt.pid, pkt.deliver_time))
+        return log
+
+    def test_same_seed_bit_identical(self, mesh4):
+        assert self._run(mesh4, 5) == self._run(mesh4, 5)
+
+    def test_different_seed_differs(self, mesh4):
+        assert self._run(mesh4, 5) != self._run(mesh4, 6)
+
+
+class TestBackpressure:
+    def test_injection_stalls_when_vcs_full(self, mesh4):
+        # Saturate one destination column; the source queue must grow
+        # (closed-loop feedback) rather than flits being dropped.
+        net = Network(mesh4)
+        for _ in range(50):
+            net.offer(net.make_packet(0, 3, 4))
+        net.step()
+        assert len(net.src_queues[0]) > 40
+        assert drain(net, 30000)
+        assert net.total_packets_delivered == 50
+
+    def test_hotspot_all_delivered(self, mesh4):
+        # All nodes hammer node 0: ejection bandwidth (1 flit/cycle) is the
+        # bottleneck; everything still arrives.
+        net = Network(mesh4)
+        offered = 0
+        for src in range(1, 16):
+            for _ in range(10):
+                net.offer(net.make_packet(src, 0, 1))
+                offered += 1
+        assert drain(net, 5000)
+        assert net.total_packets_delivered == offered
+        # ejection is serialized: runtime at least one cycle per flit
+        assert net.now >= offered
+
+    def test_deep_buffers_speed_up_hotspot_drain(self):
+        times = {}
+        for q in (1, 16):
+            cfg = NetworkConfig(k=4, n=2, vc_buffer_size=q)
+            net = Network(cfg)
+            for src in range(1, 16):
+                for _ in range(8):
+                    net.offer(net.make_packet(src, src ^ 5, 4))
+            assert drain(net, 40000)
+            times[q] = net.now
+        assert times[16] < times[1]
+
+
+class TestIdealNetwork:
+    def test_fixed_latency(self):
+        net = IdealNetwork(16)
+        pkt = net.make_packet(0, 9, 4)
+        net.offer(pkt)
+        assert net.step() == []  # cycle 0: the packet is in flight
+        assert net.step() == [pkt]  # cycle 1: fixed 1-cycle latency
+        assert pkt.latency == 1
+
+    def test_infinite_bandwidth(self):
+        net = IdealNetwork(16)
+        pkts = [net.make_packet(0, 1, 1) for _ in range(100)]
+        for p in pkts:
+            net.offer(p)
+        net.step()
+        delivered = net.step()
+        assert len(delivered) == 100
+        assert net.is_idle()
+
+    def test_counters(self):
+        net = IdealNetwork(4)
+        net.offer(net.make_packet(2, 3, 5))
+        net.run(2)
+        assert net.total_flits_delivered == 5
+        assert net.flit_injections[2] == 5
+        assert net.flit_ejections[3] == 5
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            IdealNetwork(4, latency=0)
+
+    def test_config_rejects_ideal_network_class(self):
+        with pytest.raises(ValueError):
+            Network(NetworkConfig(topology="ideal"))

@@ -1,0 +1,131 @@
+"""Property-based tests on end-to-end network invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import rng as rng_mod
+from repro.config import NetworkConfig
+from repro.network import Network
+from repro.traffic import UniformRandom
+
+
+def run_traffic(cfg, offers, drain_limit=30000):
+    """Offer (src, dst, size) packets over the first cycles, then drain."""
+    net = Network(cfg)
+    packets = []
+    for i, (src, dst, size) in enumerate(offers):
+        pkt = net.make_packet(src % net.num_nodes, dst % net.num_nodes, size)
+        net.offer(pkt)
+        packets.append(pkt)
+        if i % 4 == 3:
+            net.step()
+    for _ in range(drain_limit):
+        if net.is_idle():
+            break
+        net.step()
+    return net, packets
+
+
+offers_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=5),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+config_strategy = st.sampled_from(
+    [
+        NetworkConfig(k=4, n=2),
+        NetworkConfig(k=4, n=2, num_vcs=4, vc_buffer_size=2),
+        NetworkConfig(k=4, n=2, router_delay=3),
+        NetworkConfig(k=4, n=2, arbitration="age"),
+        NetworkConfig(topology="torus", k=4, n=2),
+        NetworkConfig(topology="ring", k=4, n=2),
+        NetworkConfig(k=4, n=2, routing="val"),
+        NetworkConfig(k=4, n=2, routing="ma"),
+        NetworkConfig(k=4, n=2, routing="romm"),
+    ]
+)
+
+
+class TestDeliveryInvariants:
+    @given(config_strategy, offers_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_every_packet_delivered_exactly_once(self, cfg, offers):
+        net, packets = run_traffic(cfg, offers)
+        assert net.is_idle(), "network failed to drain (deadlock or loss)"
+        assert net.total_packets_delivered == len(packets)
+        for pkt in packets:
+            assert pkt.deliver_time >= 0
+            assert pkt.deliver_time >= pkt.inject_time >= pkt.create_time
+
+    @given(offers_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_dor_hops_are_minimal(self, offers):
+        cfg = NetworkConfig(k=4, n=2)
+        net, packets = run_traffic(cfg, offers)
+        assert net.is_idle()
+        for pkt in packets:
+            assert pkt.hops == net.topology.min_hops(pkt.src, pkt.dst)
+
+    @given(offers_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_ma_hops_are_minimal(self, offers):
+        cfg = NetworkConfig(k=4, n=2, routing="ma")
+        net, packets = run_traffic(cfg, offers)
+        assert net.is_idle()
+        for pkt in packets:
+            assert pkt.hops == net.topology.min_hops(pkt.src, pkt.dst)
+
+    @given(offers_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_flit_conservation(self, offers):
+        cfg = NetworkConfig(k=4, n=2, num_vcs=2, vc_buffer_size=1)
+        net, packets = run_traffic(cfg, offers)
+        assert net.is_idle()
+        total_flits = sum(p.size for p in packets)
+        assert net.total_flits_delivered == total_flits
+        assert int(net.flit_injections.sum()) == total_flits
+        assert int(net.flit_ejections.sum()) == total_flits
+
+    @given(offers_strategy, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_latency_at_least_zero_load(self, offers, tr):
+        cfg = NetworkConfig(k=4, n=2, router_delay=tr)
+        net, packets = run_traffic(cfg, offers)
+        assert net.is_idle()
+        for pkt in packets:
+            h = net.topology.min_hops(pkt.src, pkt.dst)
+            floor = h * (tr + 1) + tr + (pkt.size - 1)
+            assert pkt.latency >= floor
+
+
+class TestSaturatedStability:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=8, deadline=None)
+    def test_overload_then_drain_always_clean(self, seed):
+        """Even past saturation, stopping injection must drain everything —
+        the no-deadlock property of the VC discipline."""
+        cfg = NetworkConfig(k=4, n=2, num_vcs=2, vc_buffer_size=2)
+        net = Network(cfg)
+        gen = rng_mod.make_generator(seed, "overload")
+        pat = UniformRandom(16)
+        offered = 0
+        for _ in range(400):
+            for src in np.nonzero(gen.random(16) < 0.8)[0]:
+                src = int(src)
+                net.offer(net.make_packet(src, pat.dest(src, gen), 2))
+                offered += 1
+            net.step()
+        for _ in range(60000):
+            if net.is_idle():
+                break
+            net.step()
+        assert net.is_idle()
+        assert net.total_packets_delivered == offered

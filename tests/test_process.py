@@ -1,0 +1,116 @@
+"""Tests for temporal injection processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import rng as rng_mod
+from repro.traffic import Bernoulli, MarkovOnOff
+
+
+def measured_rate(proc, cycles=20000, seed=1):
+    gen = rng_mod.make_generator(seed, "proc")
+    total = sum(len(proc.arrivals(gen)) for _ in range(cycles))
+    return total / (cycles * proc.num_nodes)
+
+
+class TestBernoulli:
+    def test_average_rate(self):
+        proc = Bernoulli(16, 0.2)
+        assert measured_rate(proc) == pytest.approx(0.2, rel=0.05)
+
+    def test_zero_and_one(self):
+        gen = rng_mod.make_generator(1, "b")
+        assert len(Bernoulli(8, 0.0).arrivals(gen)) == 0
+        assert len(Bernoulli(8, 1.0).arrivals(gen)) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bernoulli(0, 0.5)
+        with pytest.raises(ValueError):
+            Bernoulli(4, 1.5)
+
+
+class TestMarkovOnOff:
+    def test_average_rate_matches_formula(self):
+        proc = MarkovOnOff(16, alpha=0.02, beta=0.05, on_rate=0.5)
+        expected = 0.5 * 0.02 / 0.07
+        assert proc.average_rate == pytest.approx(expected)
+        assert measured_rate(proc) == pytest.approx(expected, rel=0.1)
+
+    def test_for_average_rate_hits_target(self):
+        proc = MarkovOnOff.for_average_rate(16, 0.15, burst_length=25)
+        assert proc.average_rate == pytest.approx(0.15, rel=1e-9)
+        assert measured_rate(proc) == pytest.approx(0.15, rel=0.1)
+
+    def test_burstier_than_bernoulli_over_windows(self):
+        """Same average rate and similar instantaneous variance, but the
+        on/off process is temporally correlated: arrival counts summed over
+        50-cycle windows have far higher variance (index of dispersion)."""
+        gen_a = rng_mod.make_generator(2, "a")
+        gen_b = rng_mod.make_generator(2, "b")
+        bern = Bernoulli(64, 0.1)
+        burst = MarkovOnOff.for_average_rate(64, 0.1, burst_length=40)
+
+        def window_var(proc, gen, windows=300, width=50):
+            sums = []
+            for _ in range(windows):
+                sums.append(sum(len(proc.arrivals(gen)) for _ in range(width)))
+            return np.var(sums)
+
+        assert window_var(burst, gen_b) > 3 * window_var(bern, gen_a)
+
+    def test_burst_lengths_geometric(self):
+        proc = MarkovOnOff(1, alpha=0.5, beta=0.1, on_rate=1.0)
+        gen = rng_mod.make_generator(3, "g")
+        lengths = []
+        run = 0
+        for _ in range(30000):
+            if len(proc.arrivals(gen)):
+                run += 1
+            elif run:
+                lengths.append(run)
+                run = 0
+        assert np.mean(lengths) == pytest.approx(1 / 0.1, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovOnOff(4, alpha=0.0, beta=0.1, on_rate=0.5)
+        with pytest.raises(ValueError):
+            MarkovOnOff.for_average_rate(4, 0.5, on_rate=0.4)
+        with pytest.raises(ValueError):
+            MarkovOnOff.for_average_rate(4, 0.2, burst_length=0.5)
+        with pytest.raises(ValueError):
+            # p_on -> 1 with a short burst makes alpha > 1
+            MarkovOnOff.for_average_rate(4, 0.999, burst_length=2, on_rate=1.0)
+
+    @given(
+        st.floats(min_value=0.02, max_value=0.4),
+        st.floats(min_value=2.0, max_value=100.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_for_average_rate_always_feasible_in_band(self, rate, burst):
+        proc = MarkovOnOff.for_average_rate(8, rate, burst_length=burst)
+        assert 0 < proc.alpha <= 1
+        assert 0 < proc.beta <= 1
+        assert proc.average_rate == pytest.approx(rate, rel=1e-6)
+
+
+class TestOpenLoopIntegration:
+    def test_bursty_traffic_raises_latency_at_same_load(self, mesh4):
+        from repro.core.openloop import OpenLoopSimulator
+
+        smooth = OpenLoopSimulator(mesh4, warmup=200, measure=600, drain_limit=3000)
+        bursty = OpenLoopSimulator(
+            mesh4,
+            process=lambda n, r: MarkovOnOff.for_average_rate(n, r, burst_length=30),
+            warmup=200,
+            measure=600,
+            drain_limit=3000,
+        )
+        a, b = smooth.run(0.3), bursty.run(0.3)
+        assert b.throughput == pytest.approx(a.throughput, abs=0.05)
+        assert b.avg_latency > a.avg_latency

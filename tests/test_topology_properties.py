@@ -1,0 +1,116 @@
+"""Property-based tests on topology invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Mesh, Ring, Torus
+
+ks = st.integers(min_value=2, max_value=6)
+ns = st.integers(min_value=1, max_value=3)
+
+
+@st.composite
+def cube_and_pair(draw, wrap: bool):
+    k = draw(ks)
+    n = draw(ns)
+    topo = Torus(k, n) if wrap else Mesh(k, n)
+    src = draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    dst = draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    return topo, src, dst
+
+
+class TestCubeInvariants:
+    @given(cube_and_pair(wrap=False))
+    @settings(max_examples=60, deadline=None)
+    def test_mesh_min_hops_symmetric(self, tsd):
+        topo, src, dst = tsd
+        assert topo.min_hops(src, dst) == topo.min_hops(dst, src)
+
+    @given(cube_and_pair(wrap=True))
+    @settings(max_examples=60, deadline=None)
+    def test_torus_min_hops_symmetric(self, tsd):
+        topo, src, dst = tsd
+        assert topo.min_hops(src, dst) == topo.min_hops(dst, src)
+
+    @given(cube_and_pair(wrap=True))
+    @settings(max_examples=60, deadline=None)
+    def test_torus_hops_at_most_half_k_per_dim(self, tsd):
+        topo, src, dst = tsd
+        assert topo.min_hops(src, dst) <= topo.n * (topo.k // 2 + topo.k % 2)
+
+    @given(cube_and_pair(wrap=False))
+    @settings(max_examples=60, deadline=None)
+    def test_coords_roundtrip(self, tsd):
+        topo, src, _ = tsd
+        assert topo.node_at(topo.coords(src)) == src
+
+    @given(cube_and_pair(wrap=False))
+    @settings(max_examples=40, deadline=None)
+    def test_channel_endpoints_reciprocal(self, tsd):
+        """Every channel's (dst, in_port) names a port whose own channel
+        points straight back at the source."""
+        topo, _, _ = tsd
+        for ch in topo.channels():
+            back = topo.channel(ch.dst, ch.in_port)
+            # mesh edges: the reverse port exists because the forward did
+            assert back is not None
+            assert back.dst == ch.src
+            assert back.in_port == ch.out_port
+
+    @given(cube_and_pair(wrap=True))
+    @settings(max_examples=30, deadline=None)
+    def test_torus_every_port_wired(self, tsd):
+        topo, _, _ = tsd
+        for node in range(topo.num_nodes):
+            for port in range(topo.num_network_ports):
+                assert topo.channel(node, port) is not None
+
+    @given(cube_and_pair(wrap=False))
+    @settings(max_examples=30, deadline=None)
+    def test_direction_moves_closer(self, tsd):
+        topo, src, dst = tsd
+        if src == dst:
+            return
+        for dim in range(topo.n):
+            d = topo.direction(src, dst, dim)
+            if d == 0:
+                continue
+            c = list(topo.coords(src))
+            c[dim] += d
+            nxt = topo.node_at(c)
+            assert topo.min_hops(nxt, dst) == topo.min_hops(src, dst) - 1
+
+    @given(cube_and_pair(wrap=True))
+    @settings(max_examples=30, deadline=None)
+    def test_direction_moves_closer_torus(self, tsd):
+        topo, src, dst = tsd
+        if src == dst:
+            return
+        for dim in range(topo.n):
+            d = topo.direction(src, dst, dim)
+            if d == 0:
+                continue
+            c = list(topo.coords(src))
+            c[dim] = (c[dim] + d) % topo.k
+            nxt = topo.node_at(c)
+            assert topo.min_hops(nxt, dst) == topo.min_hops(src, dst) - 1
+
+
+class TestRingInvariants:
+    @given(st.integers(min_value=3, max_value=65))
+    @settings(max_examples=30, deadline=None)
+    def test_ring_channel_count(self, n):
+        assert sum(1 for _ in Ring(n).channels()) == 2 * n
+
+    @given(
+        st.integers(min_value=3, max_value=65),
+        st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ring_distance_bounded(self, n, a):
+        r = Ring(n)
+        a %= n
+        for b in range(n):
+            assert r.min_hops(a, b) <= n // 2
