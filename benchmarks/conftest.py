@@ -49,6 +49,14 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def pytest_collection_modifyitems(items):
+    """Every figure/table harness is a multi-second simulation: mark them all
+    ``slow`` so ``pytest -m "not slow"`` gives the quick tier-1 loop even when
+    benchmarks/ is on the command line."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 

@@ -15,6 +15,7 @@ Run:  python examples/design_space_exploration.py
 
 from __future__ import annotations
 
+import os
 import pathlib
 import tempfile
 
@@ -25,6 +26,9 @@ from repro.core.sweep import sweep
 BASE = NetworkConfig(num_vcs=4)  # 8x8, 64 nodes
 BATCH = 150
 M = 4
+# evaluate() is module-level (picklable), so the sweeps can fan out over a
+# process pool; each point gets its own derived seed either way.
+WORKERS = min(4, os.cpu_count() or 1)
 
 
 def evaluate(config: NetworkConfig) -> dict:
@@ -40,16 +44,26 @@ def evaluate(config: NetworkConfig) -> dict:
 
 
 def main() -> None:
+    # a journal checkpoints each completed point; rerunning this script with
+    # the file intact would resume instead of recomputing (resume=True).
+    journal = pathlib.Path(tempfile.gettempdir()) / "noc_design_sweep.jsonl"
     # axis 1: topology (routing fixed to DOR, which all of them support)
-    topo_records = sweep(BASE, {"topology": ("mesh", "torus", "ring")}, evaluate)
+    topo_records = sweep(
+        BASE,
+        {"topology": ("mesh", "torus", "ring")},
+        evaluate,
+        n_workers=WORKERS,
+        journal=journal,
+    )
     # axis 2: routing on the mesh, under the adversarial transpose pattern
     routing_records = sweep(
         BASE.with_(traffic="transpose"),
         {"routing": ("dor", "ma", "romm", "val")},
         evaluate,
+        n_workers=WORKERS,
     )
     # axis 3: how much router pipeline can we afford?
-    tr_records = sweep(BASE, {"router_delay": (1, 2, 4)}, evaluate)
+    tr_records = sweep(BASE, {"router_delay": (1, 2, 4)}, evaluate, n_workers=WORKERS)
 
     print(format_records(topo_records, ["topology", "runtime", "theta", "spread", "wall_seconds"],
                          precision=2, title="topology (uniform random, m=4)"))

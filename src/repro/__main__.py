@@ -4,6 +4,8 @@ Examples::
 
     python -m repro openloop --rate 0.2
     python -m repro sweep --rates 0.05,0.15,0.25,0.35,0.42
+    python -m repro sweep --rates 0.05,0.2 --axis router-delay=1,2,4 \\
+        --workers 4 --journal sweep.jsonl --resume --progress
     python -m repro saturation --topology torus --num-vcs 4
     python -m repro batch -b 200 -m 4 --router-delay 2
     python -m repro batch -b 100 -m 1 --nar 0.05 --reply prob:20:300:0.1
@@ -19,14 +21,17 @@ Every command accepts the network knobs of Table I (``--topology``,
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 import time
 
-from .analysis import format_table
+from .analysis import format_records, format_table
+from .analysis.io import _coerce
 from .config import CmpConfig, NetworkConfig
 from .core.barrier import BarrierSimulator
 from .core.closedloop import BatchSimulator
 from .core.openloop import OpenLoopSimulator
+from .core.parallel import SweepProgress, run_sweep
 from .core.reply import FixedReply, ImmediateReply, ProbabilisticReply, ReplyModel
 
 __all__ = ["main"]
@@ -101,15 +106,65 @@ def _cmd_openloop(args) -> int:
     return 0
 
 
+def _parse_axis(spec: str) -> tuple[str, tuple]:
+    """Parse a ``--axis name=v1,v2,...`` config-axis spec."""
+    name, sep, values = spec.partition("=")
+    if not sep or not name or not values:
+        raise argparse.ArgumentTypeError(
+            f"bad axis {spec!r} (expected name=value,value,...)"
+        )
+    return name.replace("-", "_"), tuple(_coerce(v) for v in values.split(","))
+
+
+def _openloop_runner(cfg, *, rate, warmup, measure, drain_limit):
+    """Module-level sweep runner (picklable for the process pool)."""
+    sim = OpenLoopSimulator(cfg, warmup=warmup, measure=measure, drain_limit=drain_limit)
+    res = sim.run(rate)
+    return {
+        "latency": res.avg_latency,
+        "worst_node": res.worst_node_latency,
+        "throughput": res.throughput,
+        "saturated": res.saturated,
+    }
+
+
+def _print_progress(p: SweepProgress) -> None:
+    eta = f"{p.eta:.0f}s" if p.eta != float("inf") else "?"
+    print(
+        f"  [{p.done}/{p.total}] {p.rate:.2f} points/s, ETA {eta}"
+        + (f", {p.failed} failed" if p.failed else ""),
+        file=sys.stderr,
+    )
+
+
 def _cmd_sweep(args) -> int:
     cfg = _network_config(args)
-    sim = OpenLoopSimulator(
-        cfg, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
+    rates = tuple(float(r) for r in args.rates.split(","))
+    axes = dict(args.axis or [])
+    if args.resume and not args.journal:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
+    runner = functools.partial(
+        _openloop_runner, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
     )
-    rates = [float(r) for r in args.rates.split(",")]
-    results = sim.latency_load_sweep(rates)
-    rows = [[r.injection_rate, r.avg_latency, r.throughput, r.saturated] for r in results]
-    print(format_table(["offered", "latency", "throughput", "saturated"], rows))
+    try:
+        records = run_sweep(
+            cfg,
+            axes,
+            runner,
+            extra_axes={"rate": rates},
+            n_workers=args.workers,
+            journal=args.journal,
+            resume=args.resume,
+            progress=_print_progress if args.progress else None,
+        )
+    except ValueError as exc:  # bad n_workers, journal/axes mismatch, ...
+        print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+    columns = list(axes) + ["rate", "latency", "throughput", "saturated"]
+    if any(r.get("failed") for r in records):
+        columns.append("error")
+    print(format_records(records, columns))
     return 0
 
 
@@ -225,9 +280,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, required=True, help="flits/cycle/node")
     p.set_defaults(func=_cmd_openloop)
 
-    p = sub.add_parser("sweep", help="latency-load curve")
+    p = sub.add_parser(
+        "sweep", help="latency-load curve / design-space sweep (parallel, resumable)"
+    )
     openloop_args(p)
     p.add_argument("--rates", required=True, help="comma-separated offered loads")
+    p.add_argument(
+        "--axis",
+        action="append",
+        type=_parse_axis,
+        metavar="NAME=V1,V2,...",
+        help="sweep a config field too (repeatable), e.g. --axis router-delay=1,2,4",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
+    )
+    p.add_argument(
+        "--journal", default=None, help="JSON-lines checkpoint file (one point per line)"
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already in --journal instead of starting fresh",
+    )
+    p.add_argument(
+        "--progress", action="store_true", help="print per-point rate/ETA to stderr"
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("saturation", help="bisect the saturation throughput")

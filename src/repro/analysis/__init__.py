@@ -1,7 +1,14 @@
 """Reporting helpers: text tables, ASCII plots, statistics, persistence."""
 
 from .ascii_plot import ascii_plot, ascii_scatter
-from .io import load_records, records_from_csv, records_to_csv, save_records
+from .io import (
+    append_jsonl,
+    load_records,
+    read_jsonl,
+    records_from_csv,
+    records_to_csv,
+    save_records,
+)
 from .stats import (
     ConfidenceInterval,
     batch_means,
@@ -26,4 +33,6 @@ __all__ = [
     "records_from_csv",
     "save_records",
     "load_records",
+    "append_jsonl",
+    "read_jsonl",
 ]

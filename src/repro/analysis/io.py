@@ -1,8 +1,12 @@
-"""Sweep-record persistence (CSV and JSON).
+"""Sweep-record persistence (CSV, JSON, and JSON-lines journals).
 
 :func:`repro.core.sweep.sweep` returns flat dict records; these helpers
 round-trip them to disk so long sweeps can be analysed offline or resumed.
-CSV is for spreadsheets (scalar fields only); JSON preserves types.
+CSV is for spreadsheets (scalar fields only); JSON preserves types.  The
+JSON-lines helpers back the parallel executor's checkpoint journal
+(:mod:`repro.core.parallel`): one record per line, appended as each sweep
+point completes, with truncated trailing lines tolerated on read so a
+killed sweep can always resume.
 """
 
 from __future__ import annotations
@@ -11,22 +15,41 @@ import csv
 import io
 import json
 import pathlib
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
-__all__ = ["records_to_csv", "records_from_csv", "save_records", "load_records"]
+__all__ = [
+    "records_to_csv",
+    "records_from_csv",
+    "save_records",
+    "load_records",
+    "append_jsonl",
+    "read_jsonl",
+]
 
 
 def _coerce(value: str) -> Any:
-    """Best-effort CSV cell typing: int, float, bool, then str."""
+    """Best-effort CSV cell typing: bool, int, float (inf/nan included), str.
+
+    The bool check runs *before* the numeric attempts so no numeric parser
+    can ever shadow ``"True"``/``"False"``; ``float`` runs last and accepts
+    the ``"nan"``/``"inf"``/``"-inf"`` spellings the CSV writer emits for
+    non-finite floats, so those cells round-trip as floats rather than
+    strings.
+    """
     if value == "":
         return ""
-    for caster in (int, float):
-        try:
-            return caster(value)
-        except ValueError:
-            pass
-    if value in ("True", "False"):
-        return value == "True"
+    if value == "True":
+        return True
+    if value == "False":
+        return False
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
     return value
 
 
@@ -72,3 +95,41 @@ def load_records(path) -> list[dict[str, Any]]:
     if path.suffix == ".json":
         return json.loads(path.read_text())
     raise ValueError(f"unsupported suffix {path.suffix!r} (use .csv or .json)")
+
+
+def append_jsonl(record: Mapping[str, Any] | Iterable[Mapping[str, Any]], path) -> None:
+    """Append one record (or an iterable of records) to a JSON-lines file.
+
+    Each record is written as a single line and flushed immediately, so a
+    sweep killed mid-run loses at most the line being written — which
+    :func:`read_jsonl` then skips.
+    """
+    records = [record] if isinstance(record, Mapping) else list(record)
+    with open(path, "a", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(dict(rec), default=str) + "\n")
+            fh.flush()
+
+
+def read_jsonl(path) -> list[dict[str, Any]]:
+    """Read a JSON-lines file, dropping blank and corrupt/truncated lines.
+
+    A journal whose final line was cut short by a crash parses cleanly:
+    every complete line is returned, the partial tail is ignored.  A
+    missing file reads as no records, so resume-from-nothing is a no-op.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(parsed, dict):
+            records.append(parsed)
+    return records

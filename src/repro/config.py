@@ -72,7 +72,11 @@ class NetworkConfig:
     credit_delay:
         Cycles for a credit to travel upstream.
     seed:
-        Root RNG seed for all stochastic streams of the simulation.
+        Root RNG seed for all stochastic streams of the simulation.  Sweep
+        drivers derive per-point child seeds from it via
+        :func:`repro.rng.sweep_seed`; it is normalized to a plain ``int``
+        (numpy integers included) so the derivation and journal round-trips
+        are well-defined.
     """
 
     topology: str = "mesh"
@@ -96,6 +100,10 @@ class NetworkConfig:
     seed: int = 1
 
     def __post_init__(self) -> None:
+        try:
+            object.__setattr__(self, "seed", int(self.seed))
+        except (TypeError, ValueError):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}") from None
         if self.topology not in _TOPOLOGIES:
             raise ValueError(f"unknown topology {self.topology!r}; pick from {_TOPOLOGIES}")
         if self.routing not in _ROUTERS:

@@ -13,6 +13,7 @@ from .correlation import (
 from .metrics import LatencyStats, latency_stats, node_distribution, runtime_map
 from .openloop import OpenLoopResult, OpenLoopSimulator
 from .osmodel import OSModel
+from .parallel import SweepPoint, SweepProgress, enumerate_points, run_sweep
 from .reply import (
     FixedReply,
     ImmediateReply,
@@ -57,6 +58,10 @@ __all__ = [
     "ScatterPair",
     "product_configs",
     "sweep",
+    "run_sweep",
+    "enumerate_points",
+    "SweepPoint",
+    "SweepProgress",
     "Trace",
     "TraceRecord",
     "TraceDrivenSimulator",

@@ -1,0 +1,352 @@
+"""Parallel sweep executor: process pools, journaling, checkpoint/resume.
+
+The paper's whole pitch is cheap bulk evaluation of design points (minutes
+of synthetic simulation against 88.5-hour GEMS runs), and the sweep driver
+is the hot path that delivers it.  This module runs the cartesian product
+of sweep axes through a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **Determinism.**  Every point gets a child seed derived from the base
+  config's seed and the point's coordinates via :func:`repro.rng.sweep_seed`.
+  The derivation is independent of enumeration order and worker assignment,
+  so a parallel run produces records bit-identical to a serial run (modulo
+  the per-point ``wall_seconds`` timing field), returned in the canonical
+  enumeration order regardless of completion order.
+* **Checkpoint/resume.**  With ``journal=`` set, each completed point is
+  appended to a JSON-lines file as it finishes (via
+  :func:`repro.analysis.io.append_jsonl`).  Re-running with ``resume=True``
+  reloads the journal, skips every journaled point, and executes only the
+  missing ones; a journal truncated mid-line by a crash parses cleanly.
+* **Fault isolation.**  A runner that raises — or a worker process that
+  dies, or a point that exceeds ``point_timeout`` — yields a record marked
+  ``failed=True`` with the exception string under ``"error"`` instead of
+  killing the sweep; every other point still completes.
+* **Observability.**  A ``progress`` callback receives a
+  :class:`SweepProgress` (points done/total/failed, rate, ETA) after every
+  completed point.
+
+``n_workers=1`` (the default) runs everything in-process with no pool, so
+lambdas and closures keep working for quick interactive sweeps; with
+``n_workers > 1`` the runner and its outputs must be picklable (a
+module-level function, or :func:`functools.partial` over one).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from .. import rng
+from ..analysis.io import append_jsonl, read_jsonl
+from ..config import NetworkConfig
+
+__all__ = ["SweepPoint", "SweepProgress", "enumerate_points", "run_sweep"]
+
+#: Seconds between pool polls; bounds timeout-detection latency.
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: its canonical index, coordinates, and seed."""
+
+    #: Position in the canonical enumeration order (journal key).
+    index: int
+    #: Config-field overrides applied via ``base.with_(**overrides)``.
+    overrides: Mapping[str, Any]
+    #: Extra-axis values passed to the runner as keyword arguments.
+    kwargs: Mapping[str, Any]
+    #: Seed the point's config carries (derived or explicit).
+    seed: int
+
+    @property
+    def coords(self) -> dict[str, Any]:
+        """All axis coordinates (config overrides then extra axes)."""
+        return {**self.overrides, **self.kwargs}
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """Progress snapshot handed to the ``progress`` callback per point.
+
+    ``rate`` and ``eta`` are computed over points completed in *this* run
+    (resumed journal entries count toward ``done`` but not the rate, so the
+    ETA stays honest after a resume).  ``eta`` is ``inf`` until the first
+    point of the run completes.
+    """
+
+    done: int
+    total: int
+    failed: int
+    elapsed: float
+    rate: float
+    eta: float
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+
+def _jsonable(mapping: Mapping[str, Any]) -> dict[str, Any]:
+    """A mapping as it will read back from a JSON journal (tuples→lists…)."""
+    return json.loads(json.dumps(dict(mapping), default=str))
+
+
+def enumerate_points(
+    base: NetworkConfig,
+    axes: Mapping[str, Sequence[Any]],
+    extra_axes: Mapping[str, Sequence[Any]] | None = None,
+    *,
+    derive_seeds: bool = True,
+) -> list[SweepPoint]:
+    """The cartesian product of ``axes`` × ``extra_axes`` in canonical order.
+
+    The order is the one the serial driver has always used: the outer
+    product walks the config axes in mapping order, the inner product walks
+    the extra axes.  With ``derive_seeds`` each point's seed comes from
+    :func:`repro.rng.sweep_seed` over its full coordinates — unless
+    ``"seed"`` is itself a swept config axis, in which case the explicit
+    value wins (sweeping over seeds means the caller wants exactly those
+    seeds).
+    """
+    axes = dict(axes)
+    extra_axes = dict(extra_axes or {})
+    overlap = set(axes) & set(extra_axes)
+    if overlap:
+        raise ValueError(f"axes and extra_axes share names: {sorted(overlap)}")
+    names = list(axes)
+    extra_names = list(extra_axes)
+    points: list[SweepPoint] = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        overrides = dict(zip(names, combo))
+        for extra_combo in itertools.product(*(extra_axes[n] for n in extra_names)):
+            kwargs = dict(zip(extra_names, extra_combo))
+            if "seed" in overrides:
+                seed = int(overrides["seed"])
+            elif derive_seeds:
+                seed = rng.sweep_seed(base.seed, {**overrides, **kwargs})
+            else:
+                seed = base.seed
+            points.append(SweepPoint(len(points), overrides, kwargs, seed))
+    return points
+
+
+def _failed_record(point: SweepPoint, error: str, elapsed: float = 0.0) -> dict[str, Any]:
+    rec = dict(point.coords)
+    rec["failed"] = True
+    rec["error"] = error
+    rec["wall_seconds"] = elapsed
+    return rec
+
+
+def _execute_point(
+    runner: Callable[..., Mapping[str, Any]],
+    base: NetworkConfig,
+    point: SweepPoint,
+) -> dict[str, Any]:
+    """Run one point; exceptions become a failed record, never propagate."""
+    start = time.perf_counter()
+    try:
+        cfg = base.with_(**{**point.overrides, "seed": point.seed})
+        out = runner(cfg, **point.kwargs) if point.kwargs else runner(cfg)
+        rec = dict(point.coords)
+        rec.update(out)
+    except Exception as exc:
+        return _failed_record(
+            point, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+        )
+    rec["wall_seconds"] = time.perf_counter() - start
+    return rec
+
+
+def _load_journal(journal, points: Sequence[SweepPoint]) -> dict[int, dict[str, Any]]:
+    """Completed records from a journal, keyed by point index.
+
+    Entries are validated against the current enumeration: an index outside
+    the sweep or coordinates that no longer match mean the journal belongs
+    to a different sweep, and resuming from it would silently mix records —
+    refuse instead.
+    """
+    by_index = {p.index: p for p in points}
+    completed: dict[int, dict[str, Any]] = {}
+    for entry in read_jsonl(journal):
+        if "index" not in entry or "record" not in entry:
+            continue
+        index = entry["index"]
+        point = by_index.get(index)
+        if point is None:
+            raise ValueError(
+                f"journal {journal} has point index {index} outside this "
+                f"{len(points)}-point sweep; it belongs to a different sweep"
+            )
+        if entry.get("point") != _jsonable(point.coords):
+            raise ValueError(
+                f"journal {journal} point {index} has coordinates "
+                f"{entry.get('point')!r}, but this sweep's point {index} is "
+                f"{_jsonable(point.coords)!r}; refusing to resume across "
+                "changed axes"
+            )
+        completed[index] = entry["record"]
+    return completed
+
+
+def _run_pool(
+    pending: Sequence[SweepPoint],
+    runner: Callable[..., Mapping[str, Any]],
+    base: NetworkConfig,
+    n_workers: int,
+    point_timeout: float | None,
+    emit: Callable[[SweepPoint, dict[str, Any]], None],
+) -> None:
+    """Execute ``pending`` on a process pool, emitting records as they land.
+
+    Submissions are windowed to ``2 * n_workers`` outstanding futures so a
+    submitted point starts (almost) immediately — which is what makes the
+    per-point ``point_timeout`` meaningful — and so huge sweeps don't pin
+    every argument tuple in memory at once.
+    """
+    queue = deque(pending)
+    inflight: dict[Future, tuple[SweepPoint, float]] = {}
+    broken: str | None = None
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        while queue or inflight:
+            while queue and len(inflight) < 2 * n_workers and broken is None:
+                point = queue.popleft()
+                try:
+                    future = pool.submit(_execute_point, runner, base, point)
+                except BrokenProcessPool as exc:
+                    broken = f"worker pool broke: {exc}"
+                    emit(point, _failed_record(point, broken))
+                    break
+                inflight[future] = (point, time.monotonic())
+            if broken is not None:
+                # The pool is unusable; fail everything still queued/running.
+                for future, (point, _) in inflight.items():
+                    future.cancel()
+                    emit(point, _failed_record(point, broken))
+                inflight.clear()
+                for point in queue:
+                    emit(point, _failed_record(point, broken))
+                queue.clear()
+                break
+            done, _ = wait(
+                list(inflight), timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            for future in done:
+                point, _ = inflight.pop(future)
+                try:
+                    record = future.result()
+                except BrokenProcessPool as exc:
+                    broken = f"worker process died: {exc}"
+                    record = _failed_record(point, broken)
+                except Exception as exc:  # e.g. unpicklable runner output
+                    record = _failed_record(point, f"{type(exc).__name__}: {exc}")
+                emit(point, record)
+            if point_timeout is not None:
+                for future, (point, submitted) in list(inflight.items()):
+                    if now - submitted <= point_timeout or future.done():
+                        continue
+                    # Can't preempt a running worker; abandon its eventual
+                    # result and record the timeout.
+                    future.cancel()
+                    del inflight[future]
+                    emit(
+                        point,
+                        _failed_record(
+                            point,
+                            f"TimeoutError: point exceeded {point_timeout:g}s",
+                            now - submitted,
+                        ),
+                    )
+
+
+def run_sweep(
+    base: NetworkConfig,
+    axes: Mapping[str, Sequence[Any]],
+    runner: Callable[..., Mapping[str, Any]],
+    *,
+    extra_axes: Mapping[str, Sequence[Any]] | None = None,
+    n_workers: int = 1,
+    journal=None,
+    resume: bool = False,
+    point_timeout: float | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+    derive_seeds: bool = True,
+) -> list[dict[str, Any]]:
+    """Run ``runner`` over every sweep point; collect records in canonical order.
+
+    Parameters mirror :func:`repro.core.sweep.sweep` plus the executor
+    knobs described in the module docstring.  ``journal`` names the
+    JSON-lines checkpoint file; with ``resume=False`` an existing journal
+    is truncated (a fresh sweep), with ``resume=True`` its points are
+    skipped and only missing ones run.  ``point_timeout`` (seconds, pool
+    mode only) marks an overlong point failed without killing the sweep.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
+    points = enumerate_points(base, axes, extra_axes, derive_seeds=derive_seeds)
+    results: dict[int, dict[str, Any]] = {}
+    by_index = {p.index: p for p in points}
+    if journal is not None:
+        if resume:
+            results.update(_load_journal(journal, points))
+            # Rewrite the journal with only the valid entries: a partial
+            # trailing line left by a crash has no newline, and appending
+            # straight after it would corrupt the next record.
+            open(journal, "w").close()
+            append_jsonl(
+                (
+                    {
+                        "index": index,
+                        "point": _jsonable(by_index[index].coords),
+                        "record": record,
+                    }
+                    for index, record in sorted(results.items())
+                ),
+                journal,
+            )
+        else:
+            open(journal, "w").close()
+    pending = [p for p in points if p.index not in results]
+
+    start = time.monotonic()
+    completed_in_run = 0
+
+    def emit(point: SweepPoint, record: dict[str, Any]) -> None:
+        nonlocal completed_in_run
+        results[point.index] = record
+        completed_in_run += 1
+        if journal is not None:
+            append_jsonl(
+                {"index": point.index, "point": _jsonable(point.coords), "record": record},
+                journal,
+            )
+        if progress is not None:
+            elapsed = time.monotonic() - start
+            rate = completed_in_run / elapsed if elapsed > 0 else 0.0
+            left = len(points) - len(results)
+            progress(
+                SweepProgress(
+                    done=len(results),
+                    total=len(points),
+                    failed=sum(1 for r in results.values() if r.get("failed")),
+                    elapsed=elapsed,
+                    rate=rate,
+                    eta=left / rate if rate > 0 else float("inf"),
+                )
+            )
+
+    if n_workers == 1:
+        for point in pending:
+            emit(point, _execute_point(runner, base, point))
+    else:
+        _run_pool(pending, runner, base, n_workers, point_timeout, emit)
+    return [results[p.index] for p in points]

@@ -5,34 +5,45 @@ contrasts minutes of synthetic simulation against 88.5-hour GEMS runs).
 :func:`sweep` runs a callable over the cartesian product of configuration
 overrides and collects flat result records, ready for tabulation or
 correlation.
+
+Execution is delegated to :mod:`repro.core.parallel`: ``n_workers`` fans
+points out over a process pool (with per-point seeds derived via
+:func:`repro.rng.sweep_seed`, so serial and parallel runs agree
+bit-for-bit), ``journal``/``resume`` checkpoint completed points to a
+JSON-lines file, and ``progress`` observes completion rate and ETA.  The
+default ``n_workers=1`` runs in-process, where any callable (lambdas
+included) works; pool mode needs a picklable runner.
 """
 
 from __future__ import annotations
 
-import itertools
-import time
 from typing import Any, Callable, Mapping, Sequence
 
 from ..config import NetworkConfig
+from .parallel import SweepProgress, enumerate_points, run_sweep
 
 __all__ = ["sweep", "product_configs"]
 
 
 def product_configs(
-    base: NetworkConfig, axes: Mapping[str, Sequence[Any]]
+    base: NetworkConfig,
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    derive_seeds: bool = False,
 ) -> list[tuple[dict[str, Any], NetworkConfig]]:
     """All configurations in the cartesian product of ``axes`` overrides.
 
     Returns ``(point, config)`` pairs where ``point`` maps axis name to the
     chosen value — e.g. ``axes={"router_delay": (1, 2, 4)}`` yields three
-    configs differing only in tr.
+    configs differing only in tr.  With ``derive_seeds`` each config also
+    carries a per-point child seed (:func:`repro.rng.sweep_seed`); the
+    default keeps the base seed on every config, matching the historical
+    behaviour the benchmark harnesses were calibrated against.
     """
-    names = list(axes)
-    out = []
-    for combo in itertools.product(*(axes[name] for name in names)):
-        point = dict(zip(names, combo))
-        out.append((point, base.with_(**point)))
-    return out
+    return [
+        (dict(p.overrides), base.with_(**{**p.overrides, "seed": p.seed}))
+        for p in enumerate_points(base, axes, derive_seeds=derive_seeds)
+    ]
 
 
 def sweep(
@@ -41,6 +52,12 @@ def sweep(
     runner: Callable[[NetworkConfig], Mapping[str, Any]],
     *,
     extra_axes: Mapping[str, Sequence[Any]] | None = None,
+    n_workers: int = 1,
+    journal=None,
+    resume: bool = False,
+    point_timeout: float | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+    derive_seeds: bool = True,
 ) -> list[dict[str, Any]]:
     """Run ``runner`` over every configuration point; collect records.
 
@@ -49,19 +66,22 @@ def sweep(
     passed to ``runner`` as keyword arguments.  Each record contains the
     point's coordinates, the runner's outputs, and the wall-clock seconds
     the point took (the paper's speed claim is itself an experiment).
+
+    A runner that raises produces a record with ``failed=True`` and the
+    exception string under ``"error"`` while the rest of the sweep
+    completes; see :func:`repro.core.parallel.run_sweep` for the executor
+    knobs (``n_workers``, ``journal``/``resume``, ``point_timeout``,
+    ``progress``).
     """
-    extra_axes = dict(extra_axes or {})
-    extra_names = list(extra_axes)
-    records: list[dict[str, Any]] = []
-    for point, cfg in product_configs(base, axes):
-        for combo in itertools.product(*(extra_axes[name] for name in extra_names)):
-            kwargs = dict(zip(extra_names, combo))
-            start = time.perf_counter()
-            out = runner(cfg, **kwargs) if kwargs else runner(cfg)
-            elapsed = time.perf_counter() - start
-            rec = dict(point)
-            rec.update(kwargs)
-            rec.update(out)
-            rec["wall_seconds"] = elapsed
-            records.append(rec)
-    return records
+    return run_sweep(
+        base,
+        axes,
+        runner,
+        extra_axes=extra_axes,
+        n_workers=n_workers,
+        journal=journal,
+        resume=resume,
+        point_timeout=point_timeout,
+        progress=progress,
+        derive_seeds=derive_seeds,
+    )

@@ -162,11 +162,49 @@ class TestRecordPersistence:
         with pytest.raises(ValueError):
             load_records(tmp_path / "sweep.parquet")
 
+    def test_nan_and_inf_cells_roundtrip_as_floats(self):
+        recs = [{"x": float("nan"), "y": float("inf"), "z": float("-inf")}]
+        out = records_from_csv(records_to_csv(recs))
+        assert isinstance(out[0]["x"], float) and out[0]["x"] != out[0]["x"]
+        assert out[0]["y"] == float("inf")
+        assert out[0]["z"] == float("-inf")
+
+    def test_bool_cells_not_shadowed(self):
+        recs = [{"a": True, "b": False}]
+        out = records_from_csv(records_to_csv(recs))
+        assert out[0]["a"] is True
+        assert out[0]["b"] is False
+
+    def test_empty_string_cell_stays_empty_string(self):
+        out = records_from_csv(records_to_csv([{"a": "", "b": 1}]))
+        assert out[0] == {"a": "", "b": 1}
+
+    def test_mixed_column_roundtrip(self):
+        recs = [
+            {"v": 1, "note": "ok"},
+            {"v": float("nan"), "note": ""},
+            {"v": True, "note": "inf"},
+            {"v": 2.5, "note": "False"},
+        ]
+        out = records_from_csv(records_to_csv(recs))
+        assert out[0] == recs[0]
+        assert out[1]["v"] != out[1]["v"]  # NaN survives as float
+        assert out[1]["note"] == ""
+        assert out[2]["v"] is True
+        # string cells spelling a float/bool are coerced on read: CSV cannot
+        # distinguish "inf" the string from inf the float (documented lossiness)
+        assert out[2]["note"] == float("inf")
+        assert out[3] == {"v": 2.5, "note": False}
+
     @given(
         st.lists(
             st.dictionaries(
                 st.sampled_from(["a", "b", "c"]),
-                st.one_of(st.integers(-1000, 1000), st.booleans()),
+                st.one_of(
+                    st.integers(-1000, 1000),
+                    st.booleans(),
+                    st.floats(allow_nan=False, width=32),
+                ),
                 min_size=1,
             ),
             min_size=1,
@@ -180,3 +218,30 @@ class TestRecordPersistence:
         for orig, round_tripped in zip(records, out):
             for k, v in orig.items():
                 assert round_tripped[k] == v
+
+
+class TestJsonl:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        from repro.analysis import append_jsonl, read_jsonl
+
+        append_jsonl({"index": 0, "value": 1.5}, path)
+        append_jsonl([{"index": 1}, {"index": 2, "nested": {"a": [1, 2]}}], path)
+        out = read_jsonl(path)
+        assert out == [
+            {"index": 0, "value": 1.5},
+            {"index": 1},
+            {"index": 2, "nested": {"a": [1, 2]}},
+        ]
+
+    def test_read_tolerates_truncated_tail_and_blanks(self, tmp_path):
+        from repro.analysis import read_jsonl
+
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"index": 0}\n\n{"index": 1}\n{"index": 2, "val')
+        assert read_jsonl(path) == [{"index": 0}, {"index": 1}]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        from repro.analysis import read_jsonl
+
+        assert read_jsonl(tmp_path / "absent.jsonl") == []

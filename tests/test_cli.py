@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import pytest
 
-from repro.__main__ import _parse_reply, build_parser, main
+from repro.__main__ import _parse_axis, _parse_reply, build_parser, main
+from repro.analysis.io import read_jsonl
 from repro.core.reply import FixedReply, ImmediateReply, ProbabilisticReply
 
 
@@ -27,6 +32,21 @@ class TestParseReply:
 
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_reply("zipf:3")
+
+
+class TestParseAxis:
+    def test_int_values(self):
+        assert _parse_axis("router-delay=1,2,4") == ("router_delay", (1, 2, 4))
+
+    def test_string_values(self):
+        assert _parse_axis("topology=mesh,torus") == ("topology", ("mesh", "torus"))
+
+    def test_bad_spec(self):
+        import argparse
+
+        for spec in ("router_delay", "=1,2", "name="):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_axis(spec)
 
 
 class TestParser:
@@ -70,6 +90,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "0.05" in out and "0.2" in out
 
+    def test_sweep_with_axis_and_journal_resume(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        argv = [
+            "sweep", "--k", "4", "--rates", "0.05,0.2",
+            "--warmup", "50", "--measure", "100", "--drain", "500",
+            "--axis", "router-delay=1,2", "--journal", str(journal),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(read_jsonl(journal)) == 4
+        # drop the last journal line, resume, and get the same table back
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:-1]) + "\n")
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+        assert len(read_jsonl(journal)) == 4
+
+    def test_sweep_resume_without_journal_errors(self, capsys):
+        rc = main(["sweep", "--k", "4", "--rates", "0.05", "--resume"])
+        assert rc == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
     def test_batch(self, capsys):
         rc = main(["batch", "--k", "4", "-b", "20", "-m", "2"])
         assert rc == 0
@@ -103,3 +145,29 @@ class TestCommands:
         )
         assert rc == 0
         assert "blackscholes" in capsys.readouterr().out
+
+
+class TestParallelCliSmoke:
+    def test_sweep_workers_2_subprocess(self):
+        """Exercise the real `python -m repro ... --workers 2` pool path."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "sweep",
+                "--k", "4", "--rates", "0.05,0.2",
+                "--warmup", "50", "--measure", "100", "--drain", "500",
+                "--workers", "2", "--progress",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "0.05" in proc.stdout and "0.2" in proc.stdout
+        assert "latency" in proc.stdout
+        assert "[2/2]" in proc.stderr  # progress reached completion

@@ -11,6 +11,7 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 
 
+@pytest.mark.slow
 def test_quickstart_runs():
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / "quickstart.py")],

@@ -21,6 +21,7 @@ from repro.execdriven import CmpSystem, lu
 OL = dict(warmup=250, measure=500, drain_limit=2500)
 
 
+@pytest.mark.slow
 class TestSectionIIIRouterParameters:
     def test_mesh_saturates_near_43_percent(self, mesh8):
         """§III-B: 'the network saturates at approximately 43%'."""
@@ -65,6 +66,7 @@ class TestSectionIIIRouterParameters:
         assert ratio[32] < 1.25
 
 
+@pytest.mark.slow
 class TestSectionIIITopology:
     def test_openloop_ordering(self):
         """Fig. 6(a): ring worst in latency and throughput; torus higher
@@ -133,6 +135,7 @@ class TestSectionIIIRouting:
         assert lat["val"] > 1.25 * lat["dor"]
 
 
+@pytest.mark.slow
 class TestSectionIIICorrelation:
     def test_fig5_router_delay_correlation(self, mesh8):
         """Fig. 5: batch runtime vs open-loop latency at matched load

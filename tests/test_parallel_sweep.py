@@ -1,0 +1,235 @@
+"""Tests for the parallel sweep executor (repro.core.parallel).
+
+Pool-mode runners must be module-level functions (picklable), which is why
+the runners here live at module scope instead of inline lambdas.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import rng
+from repro.analysis.io import read_jsonl
+from repro.config import NetworkConfig
+from repro.core.parallel import SweepProgress, enumerate_points, run_sweep
+from repro.core.sweep import product_configs, sweep
+
+BASE = NetworkConfig(k=4, n=2)
+GRID_AXES = {"router_delay": (1, 2, 4, 8)}
+GRID_EXTRA = {"injection_rate": (0.05, 0.1, 0.15, 0.2)}  # 4 x 4 = 16 points
+
+
+def strip_timing(records):
+    return [{k: v for k, v in r.items() if k != "wall_seconds"} for r in records]
+
+
+def seeded_runner(cfg, **kwargs):
+    """Deterministic outputs that depend on the point's derived seed."""
+    gen = rng.make_generator(cfg.seed, "point")
+    rate = kwargs.get("injection_rate", 0.0)
+    return {
+        "value": cfg.router_delay * 100 + rate,
+        "draw": float(gen.random()),
+        "seed_seen": cfg.seed,
+    }
+
+
+def config_axes_runner(cfg):
+    gen = rng.make_generator(cfg.seed, "point")
+    return {"value": cfg.router_delay * cfg.vc_buffer_size, "draw": float(gen.random())}
+
+
+def tracking_runner(cfg, outdir, **kwargs):
+    """Drop a marker file per executed point (visible across processes)."""
+    rate = kwargs.get("injection_rate", 0.0)
+    marker = pathlib.Path(outdir) / f"tr{cfg.router_delay}-rate{rate}"
+    marker.write_text("ran")
+    return seeded_runner(cfg, **kwargs)
+
+
+def faulty_runner(cfg, **kwargs):
+    if cfg.router_delay == 4:
+        raise ValueError("injected fault at tr=4")
+    return seeded_runner(cfg, **kwargs)
+
+
+class TestEnumeratePoints:
+    def test_canonical_order_and_count(self):
+        points = enumerate_points(BASE, GRID_AXES, GRID_EXTRA)
+        assert len(points) == 16
+        assert [p.index for p in points] == list(range(16))
+        # outer product over config axes, inner over extra axes
+        assert points[0].coords == {"router_delay": 1, "injection_rate": 0.05}
+        assert points[1].coords == {"router_delay": 1, "injection_rate": 0.1}
+        assert points[4].coords == {"router_delay": 2, "injection_rate": 0.05}
+
+    def test_seeds_distinct_and_coordinate_determined(self):
+        points = enumerate_points(BASE, GRID_AXES, GRID_EXTRA)
+        seeds = [p.seed for p in points]
+        assert len(set(seeds)) == len(seeds)
+        again = enumerate_points(BASE, GRID_AXES, GRID_EXTRA)
+        assert seeds == [p.seed for p in again]
+
+    def test_explicit_seed_axis_wins(self):
+        points = enumerate_points(BASE, {"seed": (7, 9)})
+        assert [p.seed for p in points] == [7, 9]
+
+    def test_no_axes_is_single_point(self):
+        points = enumerate_points(BASE, {})
+        assert len(points) == 1 and points[0].coords == {}
+
+    def test_overlapping_axes_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_points(BASE, {"m": (1,)}, {"m": (2,)})
+
+
+class TestSerialParallelEquivalence:
+    def test_grid_with_extra_axes(self):
+        serial = run_sweep(
+            BASE, GRID_AXES, seeded_runner, extra_axes=GRID_EXTRA, n_workers=1
+        )
+        parallel = run_sweep(
+            BASE, GRID_AXES, seeded_runner, extra_axes=GRID_EXTRA, n_workers=4
+        )
+        assert len(serial) == 16
+        assert strip_timing(serial) == strip_timing(parallel)
+
+    def test_grid_config_axes_only(self):
+        axes = {"router_delay": (1, 2, 4, 8), "vc_buffer_size": (2, 4, 8, 16)}
+        serial = run_sweep(BASE, axes, config_axes_runner, n_workers=1)
+        parallel = run_sweep(BASE, axes, config_axes_runner, n_workers=4)
+        assert len(serial) == 16
+        assert strip_timing(serial) == strip_timing(parallel)
+
+    def test_sweep_wrapper_routes_through_executor(self):
+        serial = sweep(BASE, GRID_AXES, seeded_runner, extra_axes=GRID_EXTRA)
+        parallel = sweep(
+            BASE, GRID_AXES, seeded_runner, extra_axes=GRID_EXTRA, n_workers=2
+        )
+        assert strip_timing(serial) == strip_timing(parallel)
+
+
+class TestCheckpointResume:
+    def test_resume_after_truncation_runs_only_missing_points(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        full = run_sweep(
+            BASE, GRID_AXES, seeded_runner, extra_axes=GRID_EXTRA, journal=journal
+        )
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 16
+        # simulate a kill: 5 complete lines survive plus half of a sixth
+        journal.write_text("\n".join(lines[:5]) + "\n" + lines[5][: len(lines[5]) // 2])
+
+        ran_dir = tmp_path / "ran"
+        ran_dir.mkdir()
+        import functools
+
+        resumed = run_sweep(
+            BASE,
+            GRID_AXES,
+            functools.partial(tracking_runner, outdir=str(ran_dir)),
+            extra_axes=GRID_EXTRA,
+            journal=journal,
+            resume=True,
+            n_workers=2,
+        )
+        assert strip_timing(resumed) == strip_timing(full)
+        # only the 11 missing points were executed
+        assert len(list(ran_dir.iterdir())) == 11
+        # and the journal is whole again
+        assert len(read_jsonl(journal)) == 16
+
+    def test_fresh_run_truncates_stale_journal(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
+        run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
+        assert len(read_jsonl(journal)) == 2  # not appended twice
+
+    def test_resume_with_changed_axes_refused(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_sweep(
+                BASE,
+                {"router_delay": (4, 8)},
+                seeded_runner,
+                journal=journal,
+                resume=True,
+            )
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError):
+            run_sweep(BASE, {"router_delay": (1,)}, seeded_runner, resume=True)
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_one_bad_point_fails_alone(self, n_workers):
+        records = run_sweep(
+            BASE, {"router_delay": (1, 2, 4, 8)}, faulty_runner, n_workers=n_workers
+        )
+        failed = [r for r in records if r.get("failed")]
+        assert len(failed) == 1
+        assert failed[0]["router_delay"] == 4
+        assert "ValueError: injected fault at tr=4" in failed[0]["error"]
+        ok = [r for r in records if not r.get("failed")]
+        assert len(ok) == 3 and all("draw" in r for r in ok)
+
+    def test_failed_records_match_serial_vs_parallel(self):
+        serial = run_sweep(BASE, {"router_delay": (1, 2, 4, 8)}, faulty_runner)
+        parallel = run_sweep(
+            BASE, {"router_delay": (1, 2, 4, 8)}, faulty_runner, n_workers=3
+        )
+        assert strip_timing(serial) == strip_timing(parallel)
+
+
+class TestProgress:
+    def test_progress_counts_and_eta(self):
+        events: list[SweepProgress] = []
+        run_sweep(
+            BASE,
+            GRID_AXES,
+            seeded_runner,
+            extra_axes={"injection_rate": (0.05,)},
+            progress=events.append,
+        )
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert all(e.total == 4 for e in events)
+        assert events[-1].remaining == 0
+        assert events[-1].eta == 0.0
+        assert events[-1].rate > 0
+
+    def test_progress_counts_resumed_points(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(BASE, {"router_delay": (1, 2, 4)}, seeded_runner, journal=journal)
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:2]) + "\n")
+        events: list[SweepProgress] = []
+        run_sweep(
+            BASE,
+            {"router_delay": (1, 2, 4)},
+            seeded_runner,
+            journal=journal,
+            resume=True,
+            progress=events.append,
+        )
+        # one point left to run; done already includes the 2 journaled ones
+        assert [e.done for e in events] == [3]
+
+
+class TestProductConfigs:
+    def test_default_keeps_base_seed(self):
+        pairs = product_configs(BASE, {"router_delay": (1, 2)})
+        assert [cfg.seed for _, cfg in pairs] == [BASE.seed, BASE.seed]
+        assert [pt for pt, _ in pairs] == [{"router_delay": 1}, {"router_delay": 2}]
+
+    def test_derive_seeds_gives_distinct_seeds(self):
+        pairs = product_configs(BASE, {"router_delay": (1, 2)}, derive_seeds=True)
+        seeds = [cfg.seed for _, cfg in pairs]
+        assert len(set(seeds)) == 2 and BASE.seed not in seeds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep(BASE, {}, seeded_runner, n_workers=0)

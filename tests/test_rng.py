@@ -36,6 +36,60 @@ class TestSpawn:
         assert 0 <= a < 2**64
 
 
+_axis_values = st.one_of(
+    st.integers(-(10**6), 10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.sampled_from(["mesh", "torus", "ring", "dor", "val"]),
+    st.booleans(),
+)
+_points = st.dictionaries(
+    st.sampled_from(["router_delay", "vc_buffer_size", "m", "rate", "topology"]),
+    _axis_values,
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestSweepSeed:
+    @given(st.integers(min_value=0, max_value=2**63), _points)
+    def test_deterministic_and_64_bit(self, seed, point):
+        a = rng_mod.sweep_seed(seed, point)
+        assert a == rng_mod.sweep_seed(seed, point)
+        assert 0 <= a < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**63), _points)
+    def test_insertion_order_irrelevant(self, seed, point):
+        """Same point → same seed no matter which worker built the dict how."""
+        reversed_point = dict(reversed(list(point.items())))
+        assert rng_mod.sweep_seed(seed, point) == rng_mod.sweep_seed(
+            seed, reversed_point
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=2**63),
+        _points,
+        _points,
+    )
+    def test_distinct_points_get_distinct_seeds(self, seed, a, b):
+        if a != b:
+            assert rng_mod.sweep_seed(seed, a) != rng_mod.sweep_seed(seed, b)
+
+    def test_distinct_across_a_grid(self):
+        seeds = [
+            rng_mod.sweep_seed(1, {"router_delay": tr, "injection_rate": rate})
+            for tr in (1, 2, 4, 8)
+            for rate in (0.05, 0.1, 0.15, 0.2)
+        ]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_value_type_distinguished(self):
+        # the int 1 and the string "1" are different coordinates
+        assert rng_mod.sweep_seed(1, {"a": 1}) != rng_mod.sweep_seed(1, {"a": "1"})
+
+    def test_name_value_pairing_unambiguous(self):
+        assert rng_mod.sweep_seed(1, {"ab": "c"}) != rng_mod.sweep_seed(1, {"a": "bc"})
+
+
 class TestMakeGenerator:
     def test_generators_reproduce(self):
         g1 = rng_mod.make_generator(7, "stream")
