@@ -20,19 +20,60 @@ Quick taste::
 
 from .config import CmpConfig, NetworkConfig
 from .core.closedloop import BatchResult, BatchSimulator
+from .core.engine import Phase, SimulationEngine
 from .core.openloop import OpenLoopResult, OpenLoopSimulator
-from .network import IdealNetwork, Network, Packet
+from .core.probes import ProbeSet, build_probes
+from .network import IdealNetwork, Network, NetworkLike, Packet
 
 __all__ = [
     "NetworkConfig",
     "CmpConfig",
     "Network",
     "IdealNetwork",
+    "NetworkLike",
     "Packet",
     "OpenLoopSimulator",
     "OpenLoopResult",
     "BatchSimulator",
     "BatchResult",
+    "SimulationEngine",
+    "Phase",
+    "ProbeSet",
+    "build_probes",
+    "__version__",
 ]
 
-__version__ = "1.0.0"
+
+def _detect_version() -> str:
+    """Single-source the version from packaging metadata.
+
+    Installed (even ``pip install -e``): ``importlib.metadata`` has it.
+    Run straight from a source checkout via ``PYTHONPATH=src``: fall back
+    to parsing the adjacent ``pyproject.toml`` so the two never drift.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        pass
+    except Exception:  # pragma: no cover - metadata backend quirks
+        pass
+    try:
+        import pathlib
+        import re
+
+        pyproject = pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+        # A targeted regex instead of a TOML parser: tomllib is 3.11+ and
+        # this package supports 3.10.
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(encoding="utf-8"), re.M
+        )
+        if match:
+            return match.group(1)
+    except OSError:  # pragma: no cover - no checkout layout either
+        pass
+    return "0.0.0+unknown"
+
+
+__version__ = _detect_version()

@@ -25,16 +25,61 @@ import functools
 import sys
 import time
 
-from .analysis import format_records, format_table
+from . import __version__
+from .analysis import format_records, format_table, probe_heatmap
 from .analysis.io import _coerce
 from .config import CmpConfig, NetworkConfig
 from .core.barrier import BarrierSimulator
 from .core.closedloop import BatchSimulator
 from .core.openloop import OpenLoopSimulator
 from .core.parallel import SweepProgress, run_sweep
+from .core.probes import PROBE_REGISTRY, ProbeSet, build_probes
 from .core.reply import FixedReply, ImmediateReply, ProbabilisticReply, ReplyModel
 
 __all__ = ["main"]
+
+
+def _add_probe_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--probes",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "enable instrumentation probes: comma-separated from "
+            f"{{{','.join(PROBE_REGISTRY)}}} or 'all'"
+        ),
+    )
+    p.add_argument(
+        "--probe-interval",
+        type=int,
+        default=100,
+        help="probe aggregation window in cycles (default 100)",
+    )
+    p.add_argument(
+        "--probe-out",
+        default=None,
+        metavar="PATH",
+        help="stream probe records to this JSON-lines file as they flush",
+    )
+
+
+def _build_probe_set(args) -> ProbeSet | None:
+    if not getattr(args, "probes", None):
+        return None
+    return ProbeSet(
+        build_probes(args.probes), interval=args.probe_interval, out=args.probe_out
+    )
+
+
+def _report_probes(probes: ProbeSet | None, records: list) -> None:
+    if probes is None:
+        return
+    print(f"probes: {len(records)} window records", end="")
+    if probes.out is not None:
+        print(f" -> {probes.out}", end="")
+    print()
+    if records and "per_node_ejected" in records[0]:
+        print(probe_heatmap(records, field="per_node_ejected"))
 
 
 def _add_network_args(p: argparse.ArgumentParser) -> None:
@@ -93,8 +138,13 @@ def _parse_reply(spec: str) -> ReplyModel:
 
 def _cmd_openloop(args) -> int:
     cfg = _network_config(args)
+    probes = _build_probe_set(args)
     sim = OpenLoopSimulator(
-        cfg, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
+        cfg,
+        warmup=args.warmup,
+        measure=args.measure,
+        drain_limit=args.drain,
+        probes=probes,
     )
     res = sim.run(args.rate)
     print(
@@ -103,6 +153,7 @@ def _cmd_openloop(args) -> int:
         f"throughput {res.throughput:.4f}, saturated={res.saturated}, "
         f"{res.num_measured} packets measured"
     )
+    _report_probes(probes, res.probe_records)
     return 0
 
 
@@ -184,20 +235,26 @@ def _cmd_saturation(args) -> int:
 
 def _cmd_batch(args) -> int:
     cfg = _network_config(args)
+    probes = _build_probe_set(args)
     kwargs = {}
     if args.nar is not None:
         kwargs["nar"] = args.nar
     if args.reply is not None:
         kwargs["reply_model"] = args.reply
     if args.barrier:
-        res = BarrierSimulator(cfg, batch_size=args.batch_size).run()
+        res = BarrierSimulator(cfg, batch_size=args.batch_size, probes=probes).run()
         print(
             f"barrier model: runtime {res.runtime}, throughput "
             f"{res.throughput:.4f}, completed={res.completed}"
         )
+        _report_probes(probes, res.probe_records)
         return 0
     res = BatchSimulator(
-        cfg, batch_size=args.batch_size, max_outstanding=args.max_outstanding, **kwargs
+        cfg,
+        batch_size=args.batch_size,
+        max_outstanding=args.max_outstanding,
+        probes=probes,
+        **kwargs,
     ).run()
     print(
         f"batch model (b={args.batch_size}, m={args.max_outstanding}): "
@@ -205,6 +262,7 @@ def _cmd_batch(args) -> int:
         f"theta={res.throughput:.4f}, avg request latency "
         f"{res.avg_request_latency:.1f}, completed={res.completed}"
     )
+    _report_probes(probes, res.probe_records)
     return 0
 
 
@@ -267,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="On-Chip Network Evaluation Framework (SC 2010) CLI",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def openloop_args(p):
@@ -278,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("openloop", help="one open-loop measurement point")
     openloop_args(p)
     p.add_argument("--rate", type=float, required=True, help="flits/cycle/node")
+    _add_probe_args(p)
     p.set_defaults(func=_cmd_openloop)
 
     p = sub.add_parser(
@@ -325,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reply model: immediate | fixed:<L> | prob:<l2>:<mem>:<miss>",
     )
     p.add_argument("--barrier", action="store_true", help="use the barrier model")
+    _add_probe_args(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("cmp", help="execution-driven CMP run")

@@ -1,6 +1,6 @@
 """Reporting helpers: text tables, ASCII plots, statistics, persistence."""
 
-from .ascii_plot import ascii_plot, ascii_scatter
+from .ascii_plot import ascii_heatmap, ascii_plot, ascii_scatter, probe_heatmap
 from .io import (
     append_jsonl,
     load_records,
@@ -24,6 +24,8 @@ __all__ = [
     "format_matrix",
     "ascii_plot",
     "ascii_scatter",
+    "ascii_heatmap",
+    "probe_heatmap",
     "ConfidenceInterval",
     "confidence_interval",
     "batch_means",

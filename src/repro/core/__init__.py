@@ -2,6 +2,14 @@
 
 from .barrier import BarrierResult, BarrierSimulator
 from .closedloop import OS_CLASS, USER_CLASS, BatchResult, BatchSimulator
+from .engine import (
+    DrainSink,
+    EngineResult,
+    Injector,
+    Phase,
+    SimulationEngine,
+    Sink,
+)
 from .correlation import (
     CorrelationResult,
     ScatterPair,
@@ -14,6 +22,16 @@ from .metrics import LatencyStats, latency_stats, node_distribution, runtime_map
 from .openloop import OpenLoopResult, OpenLoopSimulator
 from .osmodel import OSModel
 from .parallel import SweepPoint, SweepProgress, enumerate_points, run_sweep
+from .probes import (
+    PROBE_REGISTRY,
+    ChannelUtilizationProbe,
+    InFlightProbe,
+    InjectionStallProbe,
+    Probe,
+    ProbeSet,
+    VCOccupancyProbe,
+    build_probes,
+)
 from .reply import (
     FixedReply,
     ImmediateReply,
@@ -32,6 +50,20 @@ from .tracedriven import (
 )
 
 __all__ = [
+    "SimulationEngine",
+    "EngineResult",
+    "Phase",
+    "Injector",
+    "Sink",
+    "DrainSink",
+    "Probe",
+    "ProbeSet",
+    "ChannelUtilizationProbe",
+    "VCOccupancyProbe",
+    "InjectionStallProbe",
+    "InFlightProbe",
+    "PROBE_REGISTRY",
+    "build_probes",
     "OpenLoopSimulator",
     "OpenLoopResult",
     "BatchSimulator",

@@ -34,7 +34,9 @@ from ..network.network import Network
 from ..traffic.patterns import TrafficPattern
 from ..traffic.registry import build_pattern, build_sizes
 from ..traffic.sizes import SizeDistribution
+from .engine import SimulationEngine
 from .osmodel import OSModel
+from .probes import ProbeSet
 from .reply import ImmediateReply, ReplyModel
 
 __all__ = ["BatchResult", "BatchSimulator", "USER_CLASS", "OS_CLASS"]
@@ -62,6 +64,7 @@ class BatchResult:
     avg_request_latency: float
     node_finish: np.ndarray = field(repr=False)
     os_requests: int = 0
+    probe_records: list = field(default_factory=list, repr=False)
 
     @property
     def normalized_runtime(self) -> float:
@@ -72,6 +75,127 @@ class BatchResult:
     def packet_throughput(self) -> float:
         """The paper's θ = (b·2)/T in packets/cycle/node."""
         return 2.0 * self.batch_size / self.runtime
+
+
+class _BatchLoop:
+    """The batch state machine, as engine injector *and* sink in one.
+
+    Injection eligibility depends on replies already received, so the same
+    object plays both roles: ``inject`` runs the timer/reply-release/inject
+    sequence before each network cycle, ``on_delivered`` turns requests into
+    replies and retires batch operations, and ``done`` signals when every
+    node has completed its batch.
+    """
+
+    def __init__(self, sim: "BatchSimulator", num_nodes: int, gen):
+        n = num_nodes
+        b = sim.batch_size
+        self.sim = sim
+        self.gen = gen
+        self.os_static = sim.os_model.static_extra(b) if sim.os_model else 0
+        self.timer_interval = sim.os_model.timer_interval if sim.os_model else 0
+        self.next_timer = self.timer_interval if self.timer_interval else -1
+        self.user_remaining = [b] * n
+        self.os_remaining = [self.os_static] * n
+        self.replies_needed = [b + self.os_static] * n
+        self.pf = [0] * n
+        self.finish = np.full(n, -1, dtype=np.int64)
+        self.unfinished = n
+        self.pending_replies = TimeBuckets()
+        self.total_requests = 0
+        self.os_requests = 0
+        self.req_latency_sum = 0
+        self.req_latency_count = 0
+        self.user_nar = sim.nar
+        self.os_nar = sim.os_model.os_nar if sim.os_model else 1.0
+
+    def inject(self, engine: SimulationEngine) -> None:
+        net = engine.network
+        now = net.now
+        sim = self.sim
+        gen = self.gen
+        n = len(self.pf)
+        # Timer interrupts add OS-class work to every unfinished node
+        # whose previous handler batch has drained — interrupts do not
+        # nest (a core still inside the handler skips the next tick),
+        # which also keeps the model stable when the handler cost
+        # exceeds the interval, exactly as in the execution-driven
+        # substrate.
+        if self.next_timer >= 0 and now == self.next_timer:
+            extra = sim.os_model.timer_batch
+            for node in range(n):
+                if self.finish[node] < 0 and self.os_remaining[node] == 0:
+                    self.os_remaining[node] += extra
+                    self.replies_needed[node] += extra
+            self.next_timer = now + self.timer_interval
+        # Release replies whose memory service completed.
+        bucket = self.pending_replies.pop(now)
+        if bucket is not None:
+            for reply in bucket:
+                net.offer(reply)
+        # Injection: OS class preempts user class; NAR gates the rate.
+        draws = gen.random(n)
+        pf = self.pf
+        m = sim.max_outstanding
+        pattern = sim.pattern
+        sizes = sim.sizes
+        for node in range(n):
+            if pf[node] >= m:
+                continue
+            if self.os_remaining[node] > 0:
+                cls, rate = OS_CLASS, self.os_nar
+            elif self.user_remaining[node] > 0:
+                cls, rate = USER_CLASS, self.user_nar
+            else:
+                continue
+            if rate < 1.0 and draws[node] >= rate:
+                continue
+            dst = pattern.dest(node, gen)
+            pkt = net.make_packet(
+                node, dst, sizes.draw(gen), traffic_class=cls, meta=("req", node)
+            )
+            net.offer(pkt)
+            pf[node] += 1
+            self.total_requests += 1
+            if cls == OS_CLASS:
+                self.os_remaining[node] -= 1
+                self.os_requests += 1
+            else:
+                self.user_remaining[node] -= 1
+
+    def on_delivered(self, pkt, engine: SimulationEngine) -> None:
+        net = engine.network
+        gen = self.gen
+        if pkt.meta is not None and pkt.meta[0] == "req":
+            self.req_latency_sum += pkt.latency
+            self.req_latency_count += 1
+            delay = self.sim.reply_model.delay(gen, pkt.traffic_class)
+            reply = net.make_packet(
+                pkt.dst,
+                pkt.src,
+                self.sim.reply_sizes.draw(gen),
+                is_reply=True,
+                traffic_class=pkt.traffic_class,
+                meta=("rep", pkt.meta[1]),
+            )
+            if delay == 0:
+                net.offer(reply)
+            else:
+                self.pending_replies.schedule(net.now + delay, reply)
+        else:
+            owner = pkt.meta[1]
+            self.pf[owner] -= 1
+            self.replies_needed[owner] -= 1
+            if (
+                self.replies_needed[owner] == 0
+                and self.user_remaining[owner] == 0
+                and self.os_remaining[owner] == 0
+            ):
+                self.finish[owner] = net.now
+                self.unfinished -= 1
+
+    def done(self, engine: SimulationEngine) -> bool:
+        return self.unfinished == 0
 
 
 class BatchSimulator:
@@ -91,6 +215,7 @@ class BatchSimulator:
         reply_sizes: Optional[SizeDistribution] = None,
         max_cycles: Optional[int] = None,
         network_factory=Network,
+        probes: Optional[ProbeSet] = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -115,6 +240,7 @@ class BatchSimulator:
         )
         # Injection point for instrumented networks (e.g. trace capture).
         self.network_factory = network_factory
+        self.probes = probes
 
     def run(self, *, seed: Optional[int] = None) -> BatchResult:
         """Run to completion (or ``max_cycles``); deterministic per seed."""
@@ -123,117 +249,27 @@ class BatchSimulator:
         net = self.network_factory(cfg)
         n = net.num_nodes
         gen = rng_mod.make_generator(seed, "batch", self.batch_size, self.max_outstanding)
-        b = self.batch_size
-        m = self.max_outstanding
-        os_static = self.os_model.static_extra(b) if self.os_model else 0
-        timer_interval = self.os_model.timer_interval if self.os_model else 0
-        next_timer = timer_interval if timer_interval else -1
-
-        user_remaining = [b] * n
-        os_remaining = [os_static] * n
-        replies_needed = [b + os_static] * n
-        pf = [0] * n
-        finish = np.full(n, -1, dtype=np.int64)
-        unfinished = n
-        pending_replies = TimeBuckets()
-        total_requests = 0
-        os_requests = 0
-        req_latency_sum = 0
-        req_latency_count = 0
-        pattern = self.pattern
-        sizes = self.sizes
-        reply_model = self.reply_model
-        user_nar = self.nar
-        os_nar = self.os_model.os_nar if self.os_model else 1.0
-
-        while unfinished and net.now < self.max_cycles:
-            now = net.now
-            # Timer interrupts add OS-class work to every unfinished node
-            # whose previous handler batch has drained — interrupts do not
-            # nest (a core still inside the handler skips the next tick),
-            # which also keeps the model stable when the handler cost
-            # exceeds the interval, exactly as in the execution-driven
-            # substrate.
-            if next_timer >= 0 and now == next_timer:
-                extra = self.os_model.timer_batch
-                for node in range(n):
-                    if finish[node] < 0 and os_remaining[node] == 0:
-                        os_remaining[node] += extra
-                        replies_needed[node] += extra
-                next_timer = now + timer_interval
-            # Release replies whose memory service completed.
-            bucket = pending_replies.pop(now)
-            if bucket is not None:
-                for reply in bucket:
-                    net.offer(reply)
-            # Injection: OS class preempts user class; NAR gates the rate.
-            draws = gen.random(n)
-            for node in range(n):
-                if pf[node] >= m:
-                    continue
-                if os_remaining[node] > 0:
-                    cls, rate = OS_CLASS, os_nar
-                elif user_remaining[node] > 0:
-                    cls, rate = USER_CLASS, user_nar
-                else:
-                    continue
-                if rate < 1.0 and draws[node] >= rate:
-                    continue
-                dst = pattern.dest(node, gen)
-                pkt = net.make_packet(
-                    node, dst, sizes.draw(gen), traffic_class=cls, meta=("req", node)
-                )
-                net.offer(pkt)
-                pf[node] += 1
-                total_requests += 1
-                if cls == OS_CLASS:
-                    os_remaining[node] -= 1
-                    os_requests += 1
-                else:
-                    user_remaining[node] -= 1
-            # Network cycle + completions.
-            for pkt in net.step():
-                if pkt.meta is not None and pkt.meta[0] == "req":
-                    req_latency_sum += pkt.latency
-                    req_latency_count += 1
-                    delay = reply_model.delay(gen, pkt.traffic_class)
-                    reply = net.make_packet(
-                        pkt.dst,
-                        pkt.src,
-                        self.reply_sizes.draw(gen),
-                        is_reply=True,
-                        traffic_class=pkt.traffic_class,
-                        meta=("rep", pkt.meta[1]),
-                    )
-                    if delay == 0:
-                        net.offer(reply)
-                    else:
-                        pending_replies.schedule(net.now + delay, reply)
-                else:
-                    owner = pkt.meta[1]
-                    pf[owner] -= 1
-                    replies_needed[owner] -= 1
-                    if (
-                        replies_needed[owner] == 0
-                        and user_remaining[owner] == 0
-                        and os_remaining[owner] == 0
-                    ):
-                        finish[owner] = net.now
-                        unfinished -= 1
-
-        completed = unfinished == 0
-        runtime = int(finish.max()) if completed else self.max_cycles
+        loop = _BatchLoop(self, n, gen)
+        engine = SimulationEngine(
+            net, loop, max_cycles=self.max_cycles, probes=self.probes
+        )
+        outcome = engine.run()
+        completed = outcome.completed
+        runtime = int(loop.finish.max()) if completed else self.max_cycles
         throughput = net.total_flits_delivered / (runtime * n) if runtime else 0.0
         return BatchResult(
-            batch_size=b,
-            max_outstanding=m,
+            batch_size=self.batch_size,
+            max_outstanding=self.max_outstanding,
             runtime=runtime,
             throughput=throughput,
             completed=completed,
-            total_requests=total_requests,
+            total_requests=loop.total_requests,
             avg_request_latency=(
-                req_latency_sum / req_latency_count if req_latency_count else float("nan")
+                loop.req_latency_sum / loop.req_latency_count
+                if loop.req_latency_count
+                else float("nan")
             ),
-            node_finish=finish,
-            os_requests=os_requests,
+            node_finish=loop.finish,
+            os_requests=loop.os_requests,
+            probe_records=outcome.probe_records,
         )

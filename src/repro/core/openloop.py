@@ -29,6 +29,8 @@ from ..traffic.patterns import TrafficPattern
 from ..traffic.process import Bernoulli
 from ..traffic.registry import build_pattern, build_sizes
 from ..traffic.sizes import SizeDistribution
+from .engine import SimulationEngine
+from .probes import ProbeSet
 
 __all__ = ["OpenLoopResult", "OpenLoopSimulator"]
 
@@ -52,6 +54,7 @@ class OpenLoopResult:
     num_measured: int
     per_node_latency: np.ndarray = field(repr=False)
     latencies: np.ndarray = field(repr=False)
+    probe_records: list = field(default_factory=list, repr=False)
 
     @property
     def p99_latency(self) -> float:
@@ -59,6 +62,57 @@ class OpenLoopResult:
         if self.saturated or len(self.latencies) == 0:
             return float("inf")
         return float(np.percentile(self.latencies, 99))
+
+
+class _TrafficInjector:
+    """Open-loop packet source: an infinite queue fed by a temporal process.
+
+    Injects every cycle of the run (background traffic keeps flowing through
+    the drain phase so tagged packets see steady-state contention); packets
+    created during the measurement phase are tagged and counted on the sink.
+    """
+
+    def __init__(self, pattern, sizes, process, gen, sink: "_MeasureSink"):
+        self.pattern = pattern
+        self.sizes = sizes
+        self.process = process
+        self.gen = gen
+        self.sink = sink
+
+    def inject(self, engine: SimulationEngine) -> None:
+        net = engine.network
+        gen = self.gen
+        in_window = engine.in_measure
+        pattern = self.pattern
+        sizes = self.sizes
+        sink = self.sink
+        for src in self.process.arrivals(gen):
+            src = int(src)
+            dst = pattern.dest(src, gen)
+            pkt = net.make_packet(src, dst, sizes.draw(gen), measured=in_window)
+            if in_window:
+                sink.outstanding += 1
+            net.offer(pkt)
+
+    def done(self, engine: SimulationEngine) -> bool:
+        # The source never exhausts; the run may end once the window closed.
+        return engine.in_drain
+
+
+class _MeasureSink:
+    """Collects tagged packets; satisfied when all of them have drained."""
+
+    def __init__(self) -> None:
+        self.measured: list = []
+        self.outstanding = 0
+
+    def on_delivered(self, pkt, engine: SimulationEngine) -> None:
+        if pkt.measured:
+            self.measured.append(pkt)
+            self.outstanding -= 1
+
+    def done(self, engine: SimulationEngine) -> bool:
+        return self.outstanding == 0
 
 
 class OpenLoopSimulator:
@@ -74,6 +128,7 @@ class OpenLoopSimulator:
         warmup: int = 1000,
         measure: int = 2000,
         drain_limit: int = 30000,
+        probes: Optional[ProbeSet] = None,
     ):
         self.config = config
         self.pattern = pattern if pattern is not None else build_pattern(config)
@@ -86,6 +141,7 @@ class OpenLoopSimulator:
         self.warmup = warmup
         self.measure = measure
         self.drain_limit = drain_limit
+        self.probes = probes
 
     # -- single-point run -----------------------------------------------------
     def run(self, injection_rate: float, *, seed: Optional[int] = None) -> OpenLoopResult:
@@ -105,41 +161,31 @@ class OpenLoopSimulator:
                 f"rate {injection_rate} needs >1 packet/cycle/node "
                 f"(mean size {self.sizes.mean})"
             )
-        warm_end = self.warmup
-        meas_end = self.warmup + self.measure
-        hard_end = meas_end + self.drain_limit
-        measured: list = []
-        outstanding = 0
-        flits_at_start = 0
-        flits_at_end = 0
-        pattern = self.pattern
-        sizes = self.sizes
-        process = self.process(n, p_packet)
-        while net.now < hard_end:
-            now = net.now
-            if now == warm_end:
-                flits_at_start = net.total_flits_delivered
-            if now == meas_end:
-                flits_at_end = net.total_flits_delivered
-            in_window = warm_end <= now < meas_end
-            arrivals = process.arrivals(gen)
-            for src in arrivals:
-                src = int(src)
-                dst = pattern.dest(src, gen)
-                pkt = net.make_packet(src, dst, sizes.draw(gen), measured=in_window)
-                if in_window:
-                    outstanding += 1
-                net.offer(pkt)
-            for pkt in net.step():
-                if pkt.measured:
-                    measured.append(pkt)
-                    outstanding -= 1
-            if now >= meas_end and outstanding == 0:
-                break
-        saturated = outstanding > 0
-        return self._collect(
-            injection_rate, measured, saturated, flits_at_start, flits_at_end, n
+        sink = _MeasureSink()
+        injector = _TrafficInjector(
+            self.pattern, self.sizes, self.process(n, p_packet), gen, sink
         )
+        engine = SimulationEngine(
+            net,
+            injector,
+            sink,
+            warmup=self.warmup,
+            measure=self.measure,
+            max_cycles=self.warmup + self.measure + self.drain_limit,
+            probes=self.probes,
+        )
+        outcome = engine.run()
+        saturated = sink.outstanding > 0
+        result = self._collect(
+            injection_rate,
+            sink.measured,
+            saturated,
+            outcome.flits_at_measure_start or 0,
+            outcome.flits_at_measure_end or 0,
+            n,
+        )
+        result.probe_records = outcome.probe_records
+        return result
 
     def _collect(
         self,

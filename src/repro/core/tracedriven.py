@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -27,7 +27,9 @@ import numpy as np
 from ..config import NetworkConfig
 from ..network.network import Network
 from .closedloop import BatchSimulator
+from .engine import SimulationEngine
 from .openloop import OpenLoopSimulator
+from .probes import ProbeSet
 
 __all__ = [
     "TraceRecord",
@@ -195,6 +197,43 @@ class TraceDrivenResult:
     throughput: float
     packets: int
     completed: bool
+    probe_records: list = field(default_factory=list, repr=False)
+
+
+class _TraceReplayer:
+    """Injects each trace record at exactly its recorded timestamp.
+
+    Network feedback never delays an injection — the defining (and
+    limiting) property of trace-driven evaluation.
+    """
+
+    def __init__(self, trace: Trace):
+        self._it = iter(trace)
+        self._next = next(self._it, None)
+
+    def inject(self, engine: SimulationEngine) -> None:
+        net = engine.network
+        nxt = self._next
+        while nxt is not None and nxt.time == net.now:
+            net.offer(net.make_packet(nxt.src, nxt.dst, nxt.size))
+            nxt = next(self._it, None)
+        self._next = nxt
+
+    def done(self, engine: SimulationEngine) -> bool:
+        return self._next is None
+
+
+class _ReplaySink:
+    """Collects every delivered packet's latency; done once all drained."""
+
+    def __init__(self) -> None:
+        self.latencies: list[int] = []
+
+    def on_delivered(self, pkt, engine: SimulationEngine) -> None:
+        self.latencies.append(pkt.latency)
+
+    def done(self, engine: SimulationEngine) -> bool:
+        return engine.network.is_idle()
 
 
 class TraceDrivenSimulator:
@@ -205,30 +244,34 @@ class TraceDrivenSimulator:
     trace-driven evaluation.
     """
 
-    def __init__(self, config: NetworkConfig, trace: Trace):
+    def __init__(
+        self,
+        config: NetworkConfig,
+        trace: Trace,
+        *,
+        probes: Optional[ProbeSet] = None,
+    ):
         if trace.num_nodes != config.num_nodes:
             raise ValueError(
                 f"trace has {trace.num_nodes} nodes, config {config.num_nodes}"
             )
         self.config = config
         self.trace = trace
+        self.probes = probes
 
     def run(self, *, drain_limit: int = 200_000) -> TraceDrivenResult:
         """Replay the full trace and drain; returns aggregate measurements."""
         net = Network(self.config)
-        latencies: list[int] = []
-        it = iter(self.trace)
-        nxt = next(it, None)
-        hard_end = self.trace.duration + drain_limit
-        while net.now < hard_end:
-            while nxt is not None and nxt.time == net.now:
-                net.offer(net.make_packet(nxt.src, nxt.dst, nxt.size))
-                nxt = next(it, None)
-            for pkt in net.step():
-                latencies.append(pkt.latency)
-            if nxt is None and net.is_idle():
-                break
-        completed = nxt is None and net.is_idle()
+        sink = _ReplaySink()
+        engine = SimulationEngine(
+            net,
+            _TraceReplayer(self.trace),
+            sink,
+            max_cycles=self.trace.duration + drain_limit,
+            probes=self.probes,
+        )
+        outcome = engine.run()
+        latencies = sink.latencies
         runtime = net.now
         return TraceDrivenResult(
             runtime=runtime,
@@ -237,5 +280,6 @@ class TraceDrivenSimulator:
             if runtime
             else 0.0,
             packets=len(latencies),
-            completed=completed,
+            completed=outcome.completed,
+            probe_records=outcome.probe_records,
         )

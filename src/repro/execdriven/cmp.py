@@ -25,6 +25,8 @@ import numpy as np
 
 from .. import rng as rng_mod
 from ..config import CmpConfig
+from ..core.engine import SimulationEngine
+from ..core.probes import ProbeSet
 from ..network.ideal import IdealNetwork
 from ..network.links import TimeBuckets
 from ..network.network import Network
@@ -67,6 +69,7 @@ class CmpResult:
     timeline: np.ndarray = field(repr=False)  # [class, bucket] flits
     traffic_matrix: np.ndarray = field(repr=False)  # [src, dst] flits
     logical_matrix: np.ndarray = field(repr=False)  # [consumer, producer]
+    probe_records: list = field(default_factory=list, repr=False)
 
     @property
     def nar(self) -> float:
@@ -134,6 +137,7 @@ class CmpSystem:
         seed: int = 1,
         timeline_bucket: int = 1000,
         warm_start: bool = True,
+        probes: Optional[ProbeSet] = None,
     ):
         self.benchmark = benchmark
         self.config = config if config is not None else CmpConfig()
@@ -191,6 +195,8 @@ class CmpSystem:
         self._pending = TimeBuckets()  # replies waiting on L2/DRAM service
         self._requests = 0
         self._interrupts = 0
+        self._next_timer = timer_interval if timer_interval else -1
+        self.probes = probes
         if warm_start:
             self._warm_start()
 
@@ -258,6 +264,47 @@ class CmpSystem:
         self.network.offer(pkt)
         self._count(home, core_id, REPLY_FLITS, traffic_class)
 
+    # -- engine strategy hooks ---------------------------------------------------
+    # CmpSystem is its own engine injector *and* sink: the cores create
+    # traffic (gated by MSHRs and interrupts) and delivered packets feed the
+    # memory system and core wakeups back.
+    def inject(self, engine: SimulationEngine) -> None:
+        net = self.network
+        now = net.now
+        if now == self._next_timer:
+            fired = False
+            handler = self.benchmark.timer_handler
+            for core in self.cores:
+                fired |= core.interrupt(handler)
+            if fired:
+                self._interrupts += 1
+            self._next_timer = now + self.timer_interval
+        bucket = self._pending.pop(now)
+        if bucket is not None:
+            for home, core_id, line, cls in bucket:
+                self._send_reply(home, core_id, line, cls)
+        for core in self.cores:
+            core.step(now)
+
+    def on_delivered(self, pkt, engine: SimulationEngine) -> None:
+        net = self.network
+        if pkt.meta[0] == "mem":
+            _, core_id, line = pkt.meta
+            latency, _hit = self.tiles[pkt.dst].service(line, pkt.traffic_class)
+            self._pending.schedule(
+                net.now + latency, (pkt.dst, core_id, line, pkt.traffic_class)
+            )
+        else:
+            _, core_id, line = pkt.meta
+            self.cores[core_id].on_reply(line, net.now)
+
+    def done(self, engine: SimulationEngine) -> bool:
+        return (
+            not self._pending
+            and self.network.is_idle()
+            and all(not c.active for c in self.cores)
+        )
+
     # -- main loop ---------------------------------------------------------------
     def run(self, max_cycles: int = 5_000_000) -> CmpResult:
         """Run the benchmark to completion (or ``max_cycles``)."""
@@ -265,40 +312,9 @@ class CmpSystem:
         cores = self.cores
         tiles = self.tiles
         timer = self.timer_interval
-        next_timer = timer if timer else -1
-        handler = self.benchmark.timer_handler
-        while net.now < max_cycles:
-            now = net.now
-            if now == next_timer:
-                fired = False
-                for core in cores:
-                    fired |= core.interrupt(handler)
-                if fired:
-                    self._interrupts += 1
-                next_timer = now + timer
-            bucket = self._pending.pop(now)
-            if bucket is not None:
-                for home, core_id, line, cls in bucket:
-                    self._send_reply(home, core_id, line, cls)
-            for core in cores:
-                core.step(now)
-            for pkt in net.step():
-                tag = pkt.meta[0]
-                if tag == "mem":
-                    _, core_id, line = pkt.meta
-                    latency, _hit = tiles[pkt.dst].service(line, pkt.traffic_class)
-                    self._pending.schedule(
-                        net.now + latency, (pkt.dst, core_id, line, pkt.traffic_class)
-                    )
-                else:
-                    _, core_id, line = pkt.meta
-                    cores[core_id].on_reply(line, net.now)
-            if (
-                not self._pending
-                and net.is_idle()
-                and all(not c.active for c in cores)
-            ):
-                break
+        self._next_timer = timer if timer else -1
+        engine = SimulationEngine(net, self, max_cycles=max_cycles, probes=self.probes)
+        outcome = engine.run()
         completed = all(c.done for c in cores) and net.is_idle() and not self._pending
         cycles = net.now
         n = self.config.num_cores
@@ -334,4 +350,5 @@ class CmpSystem:
             timeline=timeline,
             traffic_matrix=self.traffic_matrix,
             logical_matrix=self.logical_matrix,
+            probe_records=outcome.probe_records,
         )

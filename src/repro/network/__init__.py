@@ -1,6 +1,7 @@
 """Cycle-level network-on-chip simulator (flits, VCs, credits)."""
 
 from .arbiters import AgeArbiter, Arbiter, RoundRobinArbiter, build_arbiter
+from .base import BaseNetwork, NetworkLike
 from .ideal import IdealNetwork
 from .links import TimeBuckets
 from .network import Network
@@ -17,6 +18,8 @@ __all__ = [
     "build_arbiter",
     "TimeBuckets",
     "Router",
+    "BaseNetwork",
+    "NetworkLike",
     "Network",
     "IdealNetwork",
 ]

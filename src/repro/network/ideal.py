@@ -4,63 +4,29 @@ The paper defines the network access rate (NAR) of an application as its
 injection rate "under an ideal on-chip network ... a fully connected network
 with infinite bandwidth between the nodes and single cycle latency"
 (§IV-C1).  This class implements that reference network with the same driver
-API as :class:`repro.network.network.Network`, so any workload driver can be
+API (:class:`repro.network.base.NetworkLike`) as
+:class:`repro.network.network.Network`, so any workload driver can be
 pointed at it unchanged to measure NAR or ideal cycle counts (Table III).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from .base import BaseNetwork
 from .links import TimeBuckets
 from .packet import Packet
 
 __all__ = ["IdealNetwork"]
 
 
-class IdealNetwork:
+class IdealNetwork(BaseNetwork):
     """Driver-compatible ideal network on ``num_nodes`` nodes."""
 
     def __init__(self, num_nodes: int, *, latency: int = 1):
         if latency < 1:
             raise ValueError("latency must be >= 1")
-        self.num_nodes = num_nodes
+        super().__init__(num_nodes)
         self.latency = latency
-        self.now = 0
         self._events = TimeBuckets()
-        self._delivered: list[Packet] = []
-        self._inflight = 0
-        self._next_pid = 0
-        self.total_packets_delivered = 0
-        self.total_flits_delivered = 0
-        self.flit_ejections = np.zeros(num_nodes, dtype=np.int64)
-        self.flit_injections = np.zeros(num_nodes, dtype=np.int64)
-
-    def make_packet(
-        self,
-        src: int,
-        dst: int,
-        size: int,
-        *,
-        is_reply: bool = False,
-        traffic_class: int = 0,
-        measured: bool = True,
-        meta=None,
-    ) -> Packet:
-        """Create a packet stamped with the current cycle and a fresh id."""
-        pkt = Packet(
-            self._next_pid,
-            src,
-            dst,
-            size,
-            self.now,
-            is_reply=is_reply,
-            traffic_class=traffic_class,
-            measured=measured,
-            meta=meta,
-        )
-        self._next_pid += 1
-        return pkt
 
     def offer(self, packet: Packet) -> None:
         """Inject immediately; delivery after the fixed latency."""
@@ -85,19 +51,3 @@ class IdealNetwork:
                 delivered.append(pkt)
         self.now = now + 1
         return delivered
-
-    def run(self, cycles: int) -> list[Packet]:
-        """Step ``cycles`` times, returning all deliveries (convenience)."""
-        out: list[Packet] = []
-        for _ in range(cycles):
-            out.extend(self.step())
-        return out
-
-    def is_idle(self) -> bool:
-        """True when nothing is in flight."""
-        return self._inflight == 0
-
-    @property
-    def in_flight(self) -> int:
-        """Packets offered but not yet delivered."""
-        return self._inflight

@@ -28,6 +28,7 @@ from ..routing.base import RoutingAlgorithm
 from ..routing.registry import build_routing
 from ..topology.base import Channel, Topology
 from ..topology.registry import build_topology
+from .base import BaseNetwork
 from .links import TimeBuckets
 from .packet import Packet
 from .router import Router
@@ -35,7 +36,7 @@ from .router import Router
 __all__ = ["Network"]
 
 
-class Network:
+class Network(BaseNetwork):
     """A cycle-level NoC built from a :class:`NetworkConfig`."""
 
     def __init__(
@@ -51,7 +52,7 @@ class Network:
         self.topology = topology if topology is not None else build_topology(config)
         self.routing = routing if routing is not None else build_routing(config, self.topology)
         n = self.topology.num_nodes
-        self.num_nodes = n
+        super().__init__(n)
         self.routers = [
             Router(
                 node,
@@ -72,49 +73,14 @@ class Network:
         self._upstream: list[list] = [[None] * ports for _ in range(n)]
         for ch in self.topology.channels():
             self._upstream[ch.dst][ch.in_port] = (self.routers[ch.src], ch.out_port)
-        self.now = 0
         self._arrivals = TimeBuckets()
         self._credits = TimeBuckets()
         self._credit_delay = config.credit_delay
         self.src_queues: list[deque] = [deque() for _ in range(n)]
         self._inj_state: list[Optional[list]] = [None] * n
         self._active_sources: set[int] = set()
-        self._delivered: list[Packet] = []
-        self._inflight = 0
-        self._next_pid = 0
-        # counters
-        self.total_packets_delivered = 0
-        self.total_flits_delivered = 0
-        self.flit_ejections = np.zeros(n, dtype=np.int64)
-        self.flit_injections = np.zeros(n, dtype=np.int64)
 
     # -- driver API -----------------------------------------------------------
-    def make_packet(
-        self,
-        src: int,
-        dst: int,
-        size: int,
-        *,
-        is_reply: bool = False,
-        traffic_class: int = 0,
-        measured: bool = True,
-        meta=None,
-    ) -> Packet:
-        """Create a packet stamped with the current cycle and a fresh id."""
-        pkt = Packet(
-            self._next_pid,
-            src,
-            dst,
-            size,
-            self.now,
-            is_reply=is_reply,
-            traffic_class=traffic_class,
-            measured=measured,
-            meta=meta,
-        )
-        self._next_pid += 1
-        return pkt
-
     def offer(self, packet: Packet) -> None:
         """Queue ``packet`` at its source node (infinite source queue)."""
         self.routing.on_inject(packet)
@@ -147,25 +113,31 @@ class Network:
         self.now = now + 1
         return delivered
 
-    def run(self, cycles: int) -> list[Packet]:
-        """Step ``cycles`` times, returning all deliveries (convenience)."""
-        out: list[Packet] = []
-        for _ in range(cycles):
-            out.extend(self.step())
-        return out
-
-    def is_idle(self) -> bool:
-        """True when no packet is queued, buffered, or on a link."""
-        return self._inflight == 0
-
-    @property
-    def in_flight(self) -> int:
-        """Packets offered but not yet fully delivered."""
-        return self._inflight
-
     def buffered_flits(self) -> int:
         """Flits currently buffered across all routers (diagnostics)."""
         return sum(r.buffered_flits() for r in self.routers)
+
+    # -- probe support ----------------------------------------------------------
+    def probe_channels(self):
+        """The topology's directed channels (per-link probe domain)."""
+        return self.topology.channels()
+
+    def probe_vc_occupancy(self, out=None) -> np.ndarray:
+        """Per-node maximum single-VC buffer occupancy (flits).
+
+        A sampled snapshot for the VC-occupancy probe; by construction no
+        entry can exceed ``config.vc_buffer_size``.
+        """
+        if out is None:
+            out = np.zeros(self.num_nodes, dtype=np.int64)
+        for node, router in enumerate(self.routers):
+            worst = 0
+            for ivc in router.ivcs:
+                depth = len(ivc.fifo)
+                if depth > worst:
+                    worst = depth
+            out[node] = worst
+        return out
 
     # -- internals --------------------------------------------------------------
     def _inject_all(self, now: int) -> None:
@@ -195,10 +167,12 @@ class Network:
                         best_free = free
                         best_vc = vc
                 if best_vc < 0:
+                    self.injection_stalls += 1
                     continue  # all VCs full or busy: injection backpressure
                 st = self._inj_state[node] = [pkt, 0, best_vc]
             pkt, fidx, vc = st
             if router.free_space(router.local_port, vc, buf_size) <= 0:
+                self.injection_stalls += 1
                 continue
             if fidx == 0:
                 pkt.inject_time = now
@@ -219,6 +193,9 @@ class Network:
     def send_flit(self, ch: Channel, vc: int, pkt: Packet, fidx: int, now: int) -> None:
         """Schedule a flit's arrival at the downstream router."""
         self._arrivals.schedule(now + ch.delay, (ch.dst, ch.in_port, vc, pkt, fidx))
+        hook = self._flit_hook
+        if hook is not None:
+            hook(ch, vc, pkt, fidx, now)
 
     def send_credit(self, node: int, in_port: int, vc: int, now: int) -> None:
         """Return a credit to the router feeding (node, in_port)."""

@@ -49,6 +49,23 @@ class TestParseAxis:
                 _parse_axis(spec)
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+
+    def test_version_is_real(self):
+        import repro
+
+        assert repro.__version__
+        assert repro.__version__[0].isdigit()
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -138,6 +155,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fft on ideal" in out
         assert "completed=True" in out
+
+    def test_openloop_probes_jsonl(self, capsys, tmp_path):
+        """Acceptance: --probes emits valid JSONL readable by analysis.io."""
+        out = tmp_path / "probes.jsonl"
+        rc = main(
+            [
+                "openloop", "--k", "4", "--rate", "0.1",
+                "--warmup", "100", "--measure", "200", "--drain", "1000",
+                "--probes", "all", "--probe-interval", "50",
+                "--probe-out", str(out),
+            ]
+        )
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "window records" in stdout
+        assert "per_node_ejected" in stdout  # the heatmap rendered
+        records = read_jsonl(out)
+        assert records
+        for rec in records:
+            assert rec["window_end"] > rec["window_start"]
+            assert "link_util" in rec and "vc_occ_peak" in rec
+
+    def test_batch_probes_jsonl(self, capsys, tmp_path):
+        out = tmp_path / "probes.jsonl"
+        rc = main(
+            [
+                "batch", "--k", "4", "-b", "20", "-m", "2",
+                "--probes", "channel,stall", "--probe-out", str(out),
+            ]
+        )
+        assert rc == 0
+        assert "window records" in capsys.readouterr().out
+        records = read_jsonl(out)
+        assert records
+        assert all("injection_stalls" in rec for rec in records)
+
+    def test_barrier_probes(self, capsys):
+        rc = main(
+            ["batch", "--k", "4", "-b", "20", "--barrier", "--probes", "inflight"]
+        )
+        assert rc == 0
+        assert "window records" in capsys.readouterr().out
+
+    def test_bad_probe_name_errors(self):
+        with pytest.raises(ValueError, match="unknown probe"):
+            main(["openloop", "--k", "4", "--rate", "0.1", "--probes", "nope"])
 
     def test_characterize_single(self, capsys):
         rc = main(
