@@ -23,6 +23,12 @@ from .core.closedloop import BatchResult, BatchSimulator
 from .core.engine import Phase, SimulationEngine
 from .core.openloop import OpenLoopResult, OpenLoopSimulator
 from .core.probes import ProbeSet, build_probes
+from .core.resilience import (
+    FaultPlan,
+    SimulationStalled,
+    UnreachableDestination,
+    Watchdog,
+)
 from .network import IdealNetwork, Network, NetworkLike, Packet
 
 __all__ = [
@@ -40,6 +46,10 @@ __all__ = [
     "Phase",
     "ProbeSet",
     "build_probes",
+    "FaultPlan",
+    "Watchdog",
+    "SimulationStalled",
+    "UnreachableDestination",
     "__version__",
 ]
 

@@ -35,6 +35,7 @@ from .core.openloop import OpenLoopSimulator
 from .core.parallel import SweepProgress, run_sweep
 from .core.probes import PROBE_REGISTRY, ProbeSet, build_probes
 from .core.reply import FixedReply, ImmediateReply, ProbabilisticReply, ReplyModel
+from .core.resilience import SimulationStalled, Watchdog
 
 __all__ = ["main"]
 
@@ -106,6 +107,15 @@ def _add_network_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--packet-size", default="single", choices=("single", "bimodal"))
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault plan, e.g. 'links:2' (random), 'link:12>20', "
+            "'router:5@1000-2000'; clauses joined with ';'"
+        ),
+    )
 
 
 def _network_config(args: argparse.Namespace) -> NetworkConfig:
@@ -121,7 +131,33 @@ def _network_config(args: argparse.Namespace) -> NetworkConfig:
         traffic=args.traffic,
         packet_size=args.packet_size,
         seed=args.seed,
+        faults=getattr(args, "faults", None),
     )
+
+
+def _add_health_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--watchdog",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="stall watchdog window: abort with a diagnosis after this many "
+        "cycles without forward progress",
+    )
+    p.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="assert flit/credit conservation periodically (slow; debugging)",
+    )
+
+
+def _health_kwargs(args) -> dict:
+    kw: dict = {}
+    if getattr(args, "watchdog", None) is not None:
+        kw["watchdog"] = Watchdog(window=args.watchdog)
+    if getattr(args, "check_invariants", False):
+        kw["check_invariants"] = True
+    return kw
 
 
 def _parse_reply(spec: str) -> ReplyModel:
@@ -145,6 +181,7 @@ def _cmd_openloop(args) -> int:
         measure=args.measure,
         drain_limit=args.drain,
         probes=probes,
+        **_health_kwargs(args),
     )
     res = sim.run(args.rate)
     print(
@@ -208,6 +245,8 @@ def _cmd_sweep(args) -> int:
             journal=args.journal,
             resume=args.resume,
             progress=_print_progress if args.progress else None,
+            point_timeout=args.point_timeout,
+            max_retries=args.max_retries,
         )
     except ValueError as exc:  # bad n_workers, journal/axes mismatch, ...
         print(f"sweep error: {exc}", file=sys.stderr)
@@ -216,7 +255,10 @@ def _cmd_sweep(args) -> int:
     if any(r.get("failed") for r in records):
         columns.append("error")
     print(format_records(records, columns))
-    return 0
+    health = getattr(records, "health", None)
+    if health is not None:
+        print(f"health: {health.summary()}", file=sys.stderr)
+    return 0 if health is None or health.failed == 0 else 1
 
 
 def _cmd_saturation(args) -> int:
@@ -255,6 +297,7 @@ def _cmd_batch(args) -> int:
         max_outstanding=args.max_outstanding,
         probes=probes,
         **kwargs,
+        **_health_kwargs(args),
     ).run()
     print(
         f"batch model (b={args.batch_size}, m={args.max_outstanding}): "
@@ -340,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     openloop_args(p)
     p.add_argument("--rate", type=float, required=True, help="flits/cycle/node")
     _add_probe_args(p)
+    _add_health_args(p)
     p.set_defaults(func=_cmd_openloop)
 
     p = sub.add_parser(
@@ -368,6 +412,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--progress", action="store_true", help="print per-point rate/ETA to stderr"
     )
+    p.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill sweep points that run longer than this (parallel mode)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry transient point failures (stalls, worker deaths) up to "
+        "this many times (default 2)",
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("saturation", help="bisect the saturation throughput")
@@ -388,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--barrier", action="store_true", help="use the barrier model")
     _add_probe_args(p)
+    _add_health_args(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("cmp", help="execution-driven CMP run")
@@ -414,7 +473,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Config/plan validation errors are user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SimulationStalled as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

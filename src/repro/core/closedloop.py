@@ -216,6 +216,8 @@ class BatchSimulator:
         max_cycles: Optional[int] = None,
         network_factory=Network,
         probes: Optional[ProbeSet] = None,
+        watchdog=None,
+        check_invariants: Optional[bool] = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -241,6 +243,8 @@ class BatchSimulator:
         # Injection point for instrumented networks (e.g. trace capture).
         self.network_factory = network_factory
         self.probes = probes
+        self.watchdog = watchdog
+        self.check_invariants = check_invariants
 
     def run(self, *, seed: Optional[int] = None) -> BatchResult:
         """Run to completion (or ``max_cycles``); deterministic per seed."""
@@ -251,7 +255,12 @@ class BatchSimulator:
         gen = rng_mod.make_generator(seed, "batch", self.batch_size, self.max_outstanding)
         loop = _BatchLoop(self, n, gen)
         engine = SimulationEngine(
-            net, loop, max_cycles=self.max_cycles, probes=self.probes
+            net,
+            loop,
+            max_cycles=self.max_cycles,
+            probes=self.probes,
+            watchdog=self.watchdog,
+            check_invariants=self.check_invariants,
         )
         outcome = engine.run()
         completed = outcome.completed

@@ -23,6 +23,12 @@ owns that loop once:
 * **Probes** — an optional :class:`repro.core.probes.ProbeSet` observes
   every cycle and aggregates windowed instrumentation records; when absent
   the loop contains a single ``is None`` test and no probe code runs.
+* **Health** — an optional :class:`repro.core.resilience.Watchdog` raises
+  :class:`~repro.core.resilience.SimulationStalled` (with a diagnosis
+  snapshot) when flits are in flight but nothing moves for a whole
+  window, and ``check_invariants`` audits flit/credit conservation every
+  few hundred cycles (:class:`~repro.core.resilience.InvariantChecker`).
+  Both follow the probe contract: disabled costs one ``is None`` test.
 
 Per-cycle order of operations (identical to what the five pre-engine
 drivers each hand-rolled, so seeded results are bit-identical):
@@ -38,6 +44,7 @@ drivers each hand-rolled, so seeded results are bit-identical):
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
@@ -45,6 +52,17 @@ from ..network.base import NetworkLike
 
 if TYPE_CHECKING:  # pragma: no cover
     from .probes import ProbeSet
+    from .resilience import Watchdog
+
+
+def _invariants_default() -> bool:
+    """``check_invariants=None`` resolves against this environment toggle.
+
+    The CI invariants job exports ``REPRO_CHECK_INVARIANTS=1`` to force
+    conservation auditing across the whole fast suite without every test
+    opting in explicitly.
+    """
+    return os.environ.get("REPRO_CHECK_INVARIANTS", "") not in ("", "0")
 
 __all__ = [
     "Phase",
@@ -134,6 +152,8 @@ class SimulationEngine:
         measure: Optional[int] = None,
         max_cycles: int,
         probes: Optional["ProbeSet"] = None,
+        watchdog: Optional["Watchdog"] = None,
+        check_invariants: Optional[bool] = None,
     ):
         if warmup < 0:
             raise ValueError("warmup must be >= 0")
@@ -154,6 +174,15 @@ class SimulationEngine:
         self.measure = measure
         self.max_cycles = max_cycles
         self.probes = probes
+        self.watchdog = watchdog
+        if check_invariants is None:
+            check_invariants = _invariants_default()
+        if check_invariants:
+            from .resilience import InvariantChecker
+
+            self.invariants: Optional[InvariantChecker] = InvariantChecker()
+        else:
+            self.invariants = None
         self._measure_start = warmup
         self._measure_end = None if measure is None else warmup + measure
         self.phase = Phase.WARMUP if warmup > 0 else Phase.MEASURE
@@ -181,8 +210,14 @@ class SimulationEngine:
         measure_start = self._measure_start
         measure_end = self._measure_end
         max_cycles = self.max_cycles
+        watchdog = self.watchdog
+        invariants = self.invariants
         if probes is not None:
             probes.begin(net)
+        if watchdog is not None:
+            watchdog.begin(net)
+        if invariants is not None:
+            invariants.begin(net)
         completed = False
         while True:
             now = net.now
@@ -206,9 +241,13 @@ class SimulationEngine:
             if delivered:
                 for pkt in delivered:
                     sink.on_delivered(pkt, self)
-            # 6. Probes observe the cycle that just executed.
+            # 6. Probes and health checks observe the cycle that executed.
             if probes is not None:
                 probes.on_cycle(net, now, delivered)
+            if watchdog is not None:
+                watchdog.on_cycle(net)
+            if invariants is not None:
+                invariants.on_cycle(net)
         records = probes.finish(net) if probes is not None else []
         return EngineResult(
             cycles=net.now,

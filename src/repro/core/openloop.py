@@ -129,6 +129,8 @@ class OpenLoopSimulator:
         measure: int = 2000,
         drain_limit: int = 30000,
         probes: Optional[ProbeSet] = None,
+        watchdog=None,
+        check_invariants: Optional[bool] = None,
     ):
         self.config = config
         self.pattern = pattern if pattern is not None else build_pattern(config)
@@ -142,6 +144,9 @@ class OpenLoopSimulator:
         self.measure = measure
         self.drain_limit = drain_limit
         self.probes = probes
+        #: optional resilience.Watchdog shared by every run of this simulator
+        self.watchdog = watchdog
+        self.check_invariants = check_invariants
 
     # -- single-point run -----------------------------------------------------
     def run(self, injection_rate: float, *, seed: Optional[int] = None) -> OpenLoopResult:
@@ -173,6 +178,8 @@ class OpenLoopSimulator:
             measure=self.measure,
             max_cycles=self.warmup + self.measure + self.drain_limit,
             probes=self.probes,
+            watchdog=self.watchdog,
+            check_invariants=self.check_invariants,
         )
         outcome = engine.run()
         saturated = sink.outstanding > 0

@@ -20,6 +20,19 @@ of sweep axes through a :class:`~concurrent.futures.ProcessPoolExecutor`:
   dies, or a point that exceeds ``point_timeout`` — yields a record marked
   ``failed=True`` with the exception string under ``"error"`` instead of
   killing the sweep; every other point still completes.
+* **Self-healing.**  *Transient* failures — a worker process dying, or a
+  run aborted by the engine watchdog (:class:`SimulationStalled`) — are
+  retried up to ``max_retries`` times with capped exponential backoff and
+  jitter before the point is recorded as failed.  Deterministic runner
+  exceptions are **not** retried: the same config and seed would fail the
+  same way, so retrying only burns CPU.  A point that exceeds
+  ``point_timeout`` gets its worker *killed* (the whole pool is torn down
+  and rebuilt; innocent in-flight points are resubmitted and re-run
+  deterministically), so a hung simulation cannot occupy a pool slot for
+  the rest of the sweep.  The returned :class:`SweepRecords` carries a
+  :class:`SweepHealth` summary (ok / failed / retried / timed-out /
+  worker-death counts), and a KeyboardInterrupt flushes that summary to
+  the journal before re-raising so a killed sweep remains resumable.
 * **Observability.**  A ``progress`` callback receives a
   :class:`SweepProgress` (points done/total/failed, rate, ETA) after every
   completed point.
@@ -34,21 +47,36 @@ from __future__ import annotations
 
 import itertools
 import json
+import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from .. import rng
 from ..analysis.io import append_jsonl, read_jsonl
 from ..config import NetworkConfig
+from .resilience import SimulationStalled
 
-__all__ = ["SweepPoint", "SweepProgress", "enumerate_points", "run_sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepProgress",
+    "SweepHealth",
+    "SweepRecords",
+    "enumerate_points",
+    "run_sweep",
+]
 
 #: Seconds between pool polls; bounds timeout-detection latency.
 _POLL_SECONDS = 0.05
+
+#: Upper bound on a single retry backoff sleep (seconds).
+_MAX_BACKOFF = 5.0
+
+#: ``error_kind`` values eligible for retry (transient by nature).
+_TRANSIENT_KINDS = frozenset({"stalled", "worker_death"})
 
 
 @dataclass(frozen=True)
@@ -90,6 +118,56 @@ class SweepProgress:
     @property
     def remaining(self) -> int:
         return self.total - self.done
+
+
+@dataclass
+class SweepHealth:
+    """Per-sweep health summary: how the run degraded, if it did.
+
+    ``ok + failed == total`` for a sweep that ran to the end; ``retried``
+    counts retry *attempts* (a point retried twice adds two), ``timed_out``
+    and ``stalled`` break the failures down by cause, ``worker_deaths``
+    counts pool-rebuild events, and ``interrupted`` marks a sweep cut short
+    by KeyboardInterrupt (the summary is flushed to the journal first).
+    """
+
+    total: int = 0
+    ok: int = 0
+    failed: int = 0
+    retried: int = 0
+    timed_out: int = 0
+    stalled: int = 0
+    worker_deaths: int = 0
+    interrupted: bool = False
+
+    def summary(self) -> str:
+        parts = [f"{self.ok}/{self.total} ok"]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.timed_out:
+            parts.append(f"{self.timed_out} timed out")
+        if self.stalled:
+            parts.append(f"{self.stalled} stalled")
+        if self.retried:
+            parts.append(f"{self.retried} retries")
+        if self.worker_deaths:
+            parts.append(f"{self.worker_deaths} worker deaths")
+        if self.interrupted:
+            parts.append("interrupted")
+        return ", ".join(parts)
+
+
+class SweepRecords(list):
+    """The records of one sweep (a plain list) plus its health summary.
+
+    Subclassing ``list`` keeps every existing consumer working — indexing,
+    iteration, ``len`` — while ``.health`` carries the
+    :class:`SweepHealth` for callers that want it.
+    """
+
+    def __init__(self, records=(), health: SweepHealth | None = None):
+        super().__init__(records)
+        self.health = health if health is not None else SweepHealth()
 
 
 def _jsonable(mapping: Mapping[str, Any]) -> dict[str, Any]:
@@ -136,10 +214,13 @@ def enumerate_points(
     return points
 
 
-def _failed_record(point: SweepPoint, error: str, elapsed: float = 0.0) -> dict[str, Any]:
+def _failed_record(
+    point: SweepPoint, error: str, elapsed: float = 0.0, kind: str = "error"
+) -> dict[str, Any]:
     rec = dict(point.coords)
     rec["failed"] = True
     rec["error"] = error
+    rec["error_kind"] = kind
     rec["wall_seconds"] = elapsed
     return rec
 
@@ -149,19 +230,40 @@ def _execute_point(
     base: NetworkConfig,
     point: SweepPoint,
 ) -> dict[str, Any]:
-    """Run one point; exceptions become a failed record, never propagate."""
+    """Run one point; exceptions become a failed record, never propagate.
+
+    ``error_kind`` classifies failures for the retry policy: ``"stalled"``
+    (the engine watchdog aborted the run — transient, retried) versus
+    ``"error"`` (a deterministic runner exception — never retried).  The
+    stall record keeps only the first diagnosis line; the full snapshot is
+    multi-line and belongs in logs, not in every journal record.
+    """
     start = time.perf_counter()
     try:
         cfg = base.with_(**{**point.overrides, "seed": point.seed})
         out = runner(cfg, **point.kwargs) if point.kwargs else runner(cfg)
         rec = dict(point.coords)
         rec.update(out)
+    except SimulationStalled as exc:
+        first_line = str(exc).splitlines()[0]
+        return _failed_record(
+            point,
+            f"SimulationStalled: {first_line}",
+            time.perf_counter() - start,
+            kind="stalled",
+        )
     except Exception as exc:
         return _failed_record(
             point, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
         )
     rec["wall_seconds"] = time.perf_counter() - start
     return rec
+
+
+def _backoff_seconds(attempt: int, retry_backoff: float) -> float:
+    """Capped exponential backoff with jitter for retry ``attempt`` (1-based)."""
+    base = min(retry_backoff * 2 ** (attempt - 1), _MAX_BACKOFF)
+    return base * (1.0 + 0.25 * random.random())
 
 
 def _load_journal(journal, points: Sequence[SweepPoint]) -> dict[int, dict[str, Any]]:
@@ -195,6 +297,26 @@ def _load_journal(journal, points: Sequence[SweepPoint]) -> dict[int, dict[str, 
     return completed
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, terminating its worker processes.
+
+    ``ProcessPoolExecutor`` has no way to cancel one running task, so
+    killing a hung worker means killing them all and rebuilding — the
+    callers resubmit the innocent in-flight points, whose re-runs are
+    deterministic (per-point derived seeds), so no result changes.
+    """
+    procs = getattr(pool, "_processes", None)
+    processes = list(procs.values()) if procs else []
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        proc.join(timeout=5.0)
+
+
 def _run_pool(
     pending: Sequence[SweepPoint],
     runner: Callable[..., Mapping[str, Any]],
@@ -202,68 +324,152 @@ def _run_pool(
     n_workers: int,
     point_timeout: float | None,
     emit: Callable[[SweepPoint, dict[str, Any]], None],
+    health: SweepHealth,
+    max_retries: int,
+    retry_backoff: float,
 ) -> None:
     """Execute ``pending`` on a process pool, emitting records as they land.
 
-    Submissions are windowed to ``2 * n_workers`` outstanding futures so a
-    submitted point starts (almost) immediately — which is what makes the
-    per-point ``point_timeout`` meaningful — and so huge sweeps don't pin
-    every argument tuple in memory at once.
+    Submissions are windowed so huge sweeps don't pin every argument tuple
+    in memory at once.  With ``point_timeout`` set the window shrinks to
+    exactly ``n_workers`` outstanding futures, so every in-flight future is
+    actually *executing* — timing a future from submission would otherwise
+    falsely expire points merely queued behind a slow sibling.
+
+    Self-healing behavior:
+
+    * a point over ``point_timeout`` → its worker is killed (pool teardown
+      + rebuild), the point is recorded as timed out (no retry — the same
+      deterministic run would hang again), innocent in-flight points are
+      resubmitted at their current attempt count;
+    * a dead worker (``BrokenProcessPool``) → pool rebuild; every point
+      that was in flight is retried with backoff, since any of them may
+      have been the victim and re-running a completed-but-unreported point
+      is deterministic;
+    * a record with a transient ``error_kind`` (``"stalled"``) → retried
+      with backoff up to ``max_retries`` times.
     """
-    queue = deque(pending)
-    inflight: dict[Future, tuple[SweepPoint, float]] = {}
-    broken: str | None = None
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        while queue or inflight:
-            while queue and len(inflight) < 2 * n_workers and broken is None:
-                point = queue.popleft()
+    # Queue entries are (point, attempt); ``delayed`` holds backoff retries
+    # as (ready_monotonic, point, attempt).
+    queue: deque[tuple[SweepPoint, int]] = deque((p, 0) for p in pending)
+    delayed: list[tuple[float, SweepPoint, int]] = []
+    inflight: dict[Future, tuple[SweepPoint, int, float]] = {}
+    window = n_workers if point_timeout is not None else 2 * n_workers
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+
+    def retry_or_fail(
+        point: SweepPoint, attempt: int, record: dict[str, Any], *, now: float
+    ) -> None:
+        """Requeue a transient failure with backoff, or emit it as final."""
+        if attempt < max_retries:
+            health.retried += 1
+            delayed.append(
+                (now + _backoff_seconds(attempt + 1, retry_backoff), point, attempt + 1)
+            )
+        else:
+            emit(point, record)
+
+    def rebuild_pool(reason_points: list[tuple[SweepPoint, int]]) -> None:
+        """Kill the pool, requeue ``reason_points`` at their attempts, rebuild."""
+        nonlocal pool
+        _kill_pool(pool)
+        inflight.clear()
+        queue.extendleft(reversed(reason_points))
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+
+    try:
+        while queue or inflight or delayed:
+            now = time.monotonic()
+            if delayed:
+                ready = [e for e in delayed if e[0] <= now]
+                if ready:
+                    delayed = [e for e in delayed if e[0] > now]
+                    for _, point, attempt in ready:
+                        queue.append((point, attempt))
+            while queue and len(inflight) < window:
+                point, attempt = queue.popleft()
                 try:
                     future = pool.submit(_execute_point, runner, base, point)
-                except BrokenProcessPool as exc:
-                    broken = f"worker pool broke: {exc}"
-                    emit(point, _failed_record(point, broken))
+                except BrokenProcessPool:
+                    # Same treatment as a death detected at result time:
+                    # every in-flight point may be the victim, retry them.
+                    health.worker_deaths += 1
+                    for p, a, _ in list(inflight.values()):
+                        retry_or_fail(
+                            p,
+                            a,
+                            _failed_record(p, "worker process died", kind="worker_death"),
+                            now=time.monotonic(),
+                        )
+                    rebuild_pool([(point, attempt)])
                     break
-                inflight[future] = (point, time.monotonic())
-            if broken is not None:
-                # The pool is unusable; fail everything still queued/running.
-                for future, (point, _) in inflight.items():
-                    future.cancel()
-                    emit(point, _failed_record(point, broken))
-                inflight.clear()
-                for point in queue:
-                    emit(point, _failed_record(point, broken))
-                queue.clear()
-                break
+                inflight[future] = (point, attempt, time.monotonic())
+            if not inflight:
+                if delayed:
+                    time.sleep(
+                        min(max(min(e[0] for e in delayed) - now, 0.0), 0.5)
+                    )
+                continue
             done, _ = wait(
                 list(inflight), timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
             )
             now = time.monotonic()
+            broken = False
             for future in done:
-                point, _ = inflight.pop(future)
+                point, attempt, _ = inflight.pop(future)
                 try:
                     record = future.result()
-                except BrokenProcessPool as exc:
-                    broken = f"worker process died: {exc}"
-                    record = _failed_record(point, broken)
+                except BrokenProcessPool:
+                    # Handled below together with the other in-flight points.
+                    broken = True
+                    inflight[future] = (point, attempt, now)
+                    break
                 except Exception as exc:  # e.g. unpicklable runner output
                     record = _failed_record(point, f"{type(exc).__name__}: {exc}")
-                emit(point, record)
-            if point_timeout is not None:
-                for future, (point, submitted) in list(inflight.items()):
-                    if now - submitted <= point_timeout or future.done():
-                        continue
-                    # Can't preempt a running worker; abandon its eventual
-                    # result and record the timeout.
-                    future.cancel()
-                    del inflight[future]
-                    emit(
-                        point,
-                        _failed_record(
-                            point,
-                            f"TimeoutError: point exceeded {point_timeout:g}s",
-                            now - submitted,
-                        ),
+                if record.get("error_kind") in _TRANSIENT_KINDS:
+                    retry_or_fail(point, attempt, record, now=now)
+                else:
+                    emit(point, record)
+            if broken:
+                # A worker died.  Any in-flight point may be the victim;
+                # retry them all (deterministic re-runs), each charged one
+                # attempt so a point that reliably kills its worker — e.g.
+                # an OOM — converges to a failed record instead of cycling.
+                health.worker_deaths += 1
+                for point, attempt, _ in list(inflight.values()):
+                    record = _failed_record(
+                        point, "worker process died", kind="worker_death"
                     )
+                    retry_or_fail(point, attempt, record, now=now)
+                rebuild_pool([])
+                continue
+            if point_timeout is not None:
+                overdue = [
+                    (future, point, attempt, started)
+                    for future, (point, attempt, started) in inflight.items()
+                    if now - started > point_timeout and not future.done()
+                ]
+                if overdue:
+                    # Kill the hung worker(s): tear the pool down and
+                    # resubmit the innocent in-flight points.
+                    for future, point, attempt, started in overdue:
+                        del inflight[future]
+                        emit(
+                            point,
+                            _failed_record(
+                                point,
+                                f"TimeoutError: point exceeded {point_timeout:g}s"
+                                " (worker killed)",
+                                now - started,
+                                kind="timeout",
+                            ),
+                        )
+                    innocents = [
+                        (point, attempt) for point, attempt, _ in inflight.values()
+                    ]
+                    rebuild_pool(innocents)
+    finally:
+        _kill_pool(pool)
 
 
 def run_sweep(
@@ -278,7 +484,9 @@ def run_sweep(
     point_timeout: float | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
     derive_seeds: bool = True,
-) -> list[dict[str, Any]]:
+    max_retries: int = 2,
+    retry_backoff: float = 0.25,
+) -> SweepRecords:
     """Run ``runner`` over every sweep point; collect records in canonical order.
 
     Parameters mirror :func:`repro.core.sweep.sweep` plus the executor
@@ -286,10 +494,22 @@ def run_sweep(
     JSON-lines checkpoint file; with ``resume=False`` an existing journal
     is truncated (a fresh sweep), with ``resume=True`` its points are
     skipped and only missing ones run.  ``point_timeout`` (seconds, pool
-    mode only) marks an overlong point failed without killing the sweep.
+    mode only) kills the hung worker and marks the point failed without
+    killing the sweep.  Transient failures (worker death, watchdog stalls)
+    are retried up to ``max_retries`` times with capped exponential backoff
+    starting at ``retry_backoff`` seconds; the returned
+    :class:`SweepRecords` list carries the sweep's :class:`SweepHealth`
+    under ``.health``.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if point_timeout is not None and n_workers == 1:
+        raise ValueError(
+            "point_timeout needs a process pool (n_workers > 1): the serial "
+            "driver runs points in-process and cannot kill a hung one"
+        )
     if resume and journal is None:
         raise ValueError("resume=True requires a journal path")
     points = enumerate_points(base, axes, extra_axes, derive_seeds=derive_seeds)
@@ -316,6 +536,7 @@ def run_sweep(
         else:
             open(journal, "w").close()
     pending = [p for p in points if p.index not in results]
+    health = SweepHealth(total=len(points))
 
     start = time.monotonic()
     completed_in_run = 0
@@ -324,6 +545,15 @@ def run_sweep(
         nonlocal completed_in_run
         results[point.index] = record
         completed_in_run += 1
+        if record.get("failed"):
+            health.failed += 1
+            kind = record.get("error_kind")
+            if kind == "timeout":
+                health.timed_out += 1
+            elif kind == "stalled":
+                health.stalled += 1
+        else:
+            health.ok += 1
         if journal is not None:
             append_jsonl(
                 {"index": point.index, "point": _jsonable(point.coords), "record": record},
@@ -344,9 +574,45 @@ def run_sweep(
                 )
             )
 
-    if n_workers == 1:
-        for point in pending:
-            emit(point, _execute_point(runner, base, point))
-    else:
-        _run_pool(pending, runner, base, n_workers, point_timeout, emit)
-    return [results[p.index] for p in points]
+    # Resumed journal entries count toward the health totals too.
+    for record in results.values():
+        if record.get("failed"):
+            health.failed += 1
+        else:
+            health.ok += 1
+
+    try:
+        if n_workers == 1:
+            for point in pending:
+                record = _execute_point(runner, base, point)
+                attempt = 0
+                while (
+                    record.get("error_kind") in _TRANSIENT_KINDS
+                    and attempt < max_retries
+                ):
+                    attempt += 1
+                    health.retried += 1
+                    time.sleep(_backoff_seconds(attempt, retry_backoff))
+                    record = _execute_point(runner, base, point)
+                emit(point, record)
+        else:
+            _run_pool(
+                pending,
+                runner,
+                base,
+                n_workers,
+                point_timeout,
+                emit,
+                health,
+                max_retries,
+                retry_backoff,
+            )
+    except KeyboardInterrupt:
+        # Flush the health summary so the journal tells the whole story;
+        # per-point records are already flushed as they land, which is what
+        # makes ``resume=True`` after a Ctrl-C work.
+        health.interrupted = True
+        if journal is not None:
+            append_jsonl({"health": asdict(health)}, journal)
+        raise
+    return SweepRecords((results[p.index] for p in points), health)

@@ -66,6 +66,8 @@ class BaseNetwork:
         self._next_pid = 0
         self.total_packets_delivered = 0
         self.total_flits_delivered = 0
+        #: flit link traversals (watchdog forward-progress signal)
+        self.total_flit_traversals = 0
         self.flit_ejections = np.zeros(num_nodes, dtype=np.int64)
         self.flit_injections = np.zeros(num_nodes, dtype=np.int64)
         #: cycles a source spent unable to stream a queued flit (backpressure)

@@ -45,5 +45,14 @@ class TimeBuckets:
         self._buckets.clear()
         self.pending = 0
 
+    def events(self):
+        """Iterate over every undelivered event (order unspecified).
+
+        Used by the invariant checker to count in-flight flits/credits;
+        never called from the hot loop.
+        """
+        for bucket in self._buckets.values():
+            yield from bucket
+
     def __bool__(self) -> bool:
         return self.pending > 0

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import rng as rng_mod
 from ..config import NetworkConfig
 from ..routing.base import RoutingAlgorithm
 from ..routing.registry import build_routing
@@ -37,7 +38,15 @@ __all__ = ["Network"]
 
 
 class Network(BaseNetwork):
-    """A cycle-level NoC built from a :class:`NetworkConfig`."""
+    """A cycle-level NoC built from a :class:`NetworkConfig`.
+
+    ``faults`` accepts a :class:`~repro.core.resilience.FaultPlan` or a spec
+    string (see :meth:`FaultPlan.parse`); it defaults to ``config.faults``.
+    A faulted network wraps its routing algorithm in
+    :class:`~repro.routing.fault.FaultAwareRouting` and maintains per-router
+    fault masks; an unfaulted network runs the identical code path with
+    ``faults is None`` and a constant fault version of 0.
+    """
 
     def __init__(
         self,
@@ -45,6 +54,7 @@ class Network(BaseNetwork):
         *,
         topology: Optional[Topology] = None,
         routing: Optional[RoutingAlgorithm] = None,
+        faults=None,
     ):
         if config.topology == "ideal":
             raise ValueError("use repro.network.ideal.IdealNetwork for the ideal topology")
@@ -53,6 +63,20 @@ class Network(BaseNetwork):
         self.routing = routing if routing is not None else build_routing(config, self.topology)
         n = self.topology.num_nodes
         super().__init__(n)
+        self._fault_version = 0
+        self.faults = None
+        plan = faults if faults is not None else config.faults
+        if plan:
+            from ..core.resilience import FaultPlan, FaultState
+            from ..routing.fault import FaultAwareRouting
+
+            if isinstance(plan, str):
+                plan = FaultPlan.parse(plan)
+            resolved = plan.resolve(
+                self.topology, rng_mod.spawn(config.seed, "faults")
+            )
+            self.faults = FaultState(resolved, self)
+            self.routing = FaultAwareRouting(self.routing, self.faults)
         self.routers = [
             Router(
                 node,
@@ -79,6 +103,9 @@ class Network(BaseNetwork):
         self.src_queues: list[deque] = [deque() for _ in range(n)]
         self._inj_state: list[Optional[list]] = [None] * n
         self._active_sources: set[int] = set()
+        if self.faults is not None:
+            # Faults starting at cycle 0 take effect before the first step.
+            self.faults.apply(0)
 
     # -- driver API -----------------------------------------------------------
     def offer(self, packet: Packet) -> None:
@@ -93,6 +120,10 @@ class Network(BaseNetwork):
         now = self.now
         delivered = self._delivered = []
         routers = self.routers
+        # 0. Fault activations/deactivations scheduled for this cycle.
+        fs = self.faults
+        if fs is not None and fs.has_events:
+            fs.apply(now)
         # 1. Credits land (usable this cycle).
         bucket = self._credits.pop(now)
         if bucket is not None:
@@ -193,6 +224,7 @@ class Network(BaseNetwork):
     def send_flit(self, ch: Channel, vc: int, pkt: Packet, fidx: int, now: int) -> None:
         """Schedule a flit's arrival at the downstream router."""
         self._arrivals.schedule(now + ch.delay, (ch.dst, ch.in_port, vc, pkt, fidx))
+        self.total_flit_traversals += 1
         hook = self._flit_hook
         if hook is not None:
             hook(ch, vc, pkt, fidx, now)

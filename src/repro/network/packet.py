@@ -45,6 +45,7 @@ class Packet:
         "vc_class",
         "route_dim",
         "hops",
+        "misroutes",
         "meta",
     )
 
@@ -77,6 +78,7 @@ class Packet:
         self.vc_class: int = 0
         self.route_dim: int = -1
         self.hops: int = 0
+        self.misroutes: int = 0
         self.meta = meta
 
     @property

@@ -57,6 +57,7 @@ class Router:
         "vc_owner",
         "out_channels",
         "arbiters",
+        "fault_mask",
         "_reqs",
     )
 
@@ -99,6 +100,9 @@ class Router:
             for p in range(self.num_ports)
         ]
         self.arbiters = [build_arbiter(arbitration, nivcs) for _ in range(self.num_ports)]
+        #: bitmask of currently-faulted output ports (maintained by the
+        #: network's FaultState; 0 on a healthy router)
+        self.fault_mask = 0
         self._reqs: list[list] = [[] for _ in range(self.num_ports)]
 
     # -- buffer plumbing (called by Network) --------------------------------
@@ -116,6 +120,7 @@ class Router:
     def _try_alloc(self, ivc: InputVC) -> bool:
         """Attempt VC allocation for the routed head flit in ``ivc``."""
         local = self.local_port
+        fm = self.fault_mask
         best_port = -1
         best_vc = -1
         best_credit = -1
@@ -128,6 +133,8 @@ class Router:
                 return True
             if cand.escape:
                 continue  # escape paths tried only in the fallback pass
+            if fm and fm >> op & 1:
+                continue  # faulted channel: never claim its VCs
             owners = self.vc_owner[op]
             creds = self.credits[op]
             for vc in cand.vcs:
@@ -140,6 +147,8 @@ class Router:
                 if not cand.escape:
                     continue
                 op = cand.out_port
+                if fm and fm >> op & 1:
+                    continue
                 owners = self.vc_owner[op]
                 creds = self.credits[op]
                 for vc in cand.vcs:
@@ -161,6 +170,8 @@ class Router:
         ivcs = self.ivcs
         reqs = self._reqs
         local = self.local_port
+        fm = self.fault_mask
+        fv = self.network._fault_version
         active_ports = []
         # RC / VA / SA-request gathering.
         for idx in sorted(self.busy):
@@ -169,13 +180,17 @@ class Router:
             if head[2] > now:
                 continue
             if ivc.out_port < 0:
-                if ivc.candidates is None:
-                    # RC: head flit computes its candidates once per hop.
+                if ivc.candidates is None or ivc.route_version != fv:
+                    # RC: head flits compute their candidates once per hop,
+                    # again whenever the fault set changed under them.
                     ivc.candidates = self.routing.route(self.node, head[0])
+                    ivc.route_version = fv
                 if not self._try_alloc(ivc):
                     continue
             op = ivc.out_port
-            if op != local and self.credits[op][ivc.out_vc] <= 0:
+            if op != local and (
+                self.credits[op][ivc.out_vc] <= 0 or (fm and fm >> op & 1)
+            ):
                 continue
             if not reqs[op]:
                 active_ports.append(op)

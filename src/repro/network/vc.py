@@ -25,7 +25,16 @@ __all__ = ["InputVC"]
 class InputVC:
     """One input virtual channel (buffer + wormhole routing state)."""
 
-    __slots__ = ("index", "in_port", "vc", "fifo", "out_port", "out_vc", "candidates")
+    __slots__ = (
+        "index",
+        "in_port",
+        "vc",
+        "fifo",
+        "out_port",
+        "out_vc",
+        "candidates",
+        "route_version",
+    )
 
     def __init__(self, index: int, in_port: int, vc: int):
         self.index = index
@@ -35,6 +44,9 @@ class InputVC:
         self.out_port: int = -1
         self.out_vc: int = -1
         self.candidates: Optional[list] = None
+        #: network fault version the candidates were computed under; a head
+        #: flit still awaiting VC allocation re-routes when this goes stale.
+        self.route_version: int = 0
 
     def reset_route(self) -> None:
         """Clear routing state after the tail flit departs."""

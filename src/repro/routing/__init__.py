@@ -2,6 +2,7 @@
 
 from .base import RouteCandidate, RoutingAlgorithm, vc_range
 from .dor import DOR, dor_port
+from .fault import FaultAwareRouting
 from .minimal_adaptive import MinimalAdaptive
 from .registry import build_routing
 from .romm import ROMM
@@ -13,6 +14,7 @@ __all__ = [
     "vc_range",
     "DOR",
     "dor_port",
+    "FaultAwareRouting",
     "Valiant",
     "ROMM",
     "MinimalAdaptive",

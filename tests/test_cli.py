@@ -198,9 +198,11 @@ class TestCommands:
         assert rc == 0
         assert "window records" in capsys.readouterr().out
 
-    def test_bad_probe_name_errors(self):
-        with pytest.raises(ValueError, match="unknown probe"):
-            main(["openloop", "--k", "4", "--rate", "0.1", "--probes", "nope"])
+    def test_bad_probe_name_errors(self, capsys):
+        rc = main(["openloop", "--k", "4", "--rate", "0.1", "--probes", "nope"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown probe" in err
 
     def test_characterize_single(self, capsys):
         rc = main(
@@ -210,14 +212,83 @@ class TestCommands:
         assert "blackscholes" in capsys.readouterr().out
 
 
+def _repro_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+class TestFaultFlags:
+    def test_openloop_with_faults(self, capsys):
+        rc = main(
+            [
+                "openloop", "--k", "4", "--rate", "0.05",
+                "--warmup", "100", "--measure", "200", "--drain", "1000",
+                "--faults", "links:1", "--watchdog", "5000",
+            ]
+        )
+        assert rc == 0
+        assert "avg latency" in capsys.readouterr().out
+
+    def test_openloop_check_invariants(self, capsys):
+        rc = main(
+            [
+                "openloop", "--k", "4", "--rate", "0.05",
+                "--warmup", "50", "--measure", "100", "--drain", "500",
+                "--faults", "link:0>1", "--check-invariants",
+            ]
+        )
+        assert rc == 0
+
+    def test_sweep_health_summary(self, capsys):
+        rc = main(
+            [
+                "sweep", "--k", "4", "--rates", "0.05",
+                "--warmup", "50", "--measure", "100", "--drain", "500",
+            ]
+        )
+        assert rc == 0
+        assert "health: 1/1 ok" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        rc = main(["openloop", "--k", "4", "--rate", "0.1", "--faults", "bogus"])
+        assert rc == 2
+        assert "bad fault clause" in capsys.readouterr().err
+
+    def test_faults_rejected_on_ideal_topology(self, capsys):
+        from repro.config import NetworkConfig
+
+        with pytest.raises(ValueError, match="ideal"):
+            NetworkConfig(topology="ideal", faults="links:1")
+
+
+class TestErrorBoundarySubprocess:
+    def test_value_error_is_one_line_exit_2(self):
+        """Acceptance: a config mistake prints one line and exits 2."""
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "openloop",
+                "--k", "4", "--rate", "0.1", "--faults", "link:0?1",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=_repro_env(),
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        err_lines = [l for l in proc.stderr.splitlines() if l.strip()]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error:")
+
+
 class TestParallelCliSmoke:
     def test_sweep_workers_2_subprocess(self):
         """Exercise the real `python -m repro ... --workers 2` pool path."""
-        env = dict(os.environ)
-        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
-        env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
-            "PYTHONPATH", ""
-        )
+        env = _repro_env()
         proc = subprocess.run(
             [
                 sys.executable, "-m", "repro", "sweep",

@@ -6,14 +6,27 @@ the runners here live at module scope instead of inline lambdas.
 
 from __future__ import annotations
 
+import functools
+import json
+import os
 import pathlib
+import time
 
 import pytest
 
 from repro import rng
 from repro.analysis.io import read_jsonl
 from repro.config import NetworkConfig
-from repro.core.parallel import SweepProgress, enumerate_points, run_sweep
+from repro.core.parallel import (
+    _MAX_BACKOFF,
+    SweepHealth,
+    SweepProgress,
+    SweepRecords,
+    _backoff_seconds,
+    enumerate_points,
+    run_sweep,
+)
+from repro.core.resilience import SimulationStalled, StallDiagnosis
 from repro.core.sweep import product_configs, sweep
 
 BASE = NetworkConfig(k=4, n=2)
@@ -53,6 +66,61 @@ def faulty_runner(cfg, **kwargs):
     if cfg.router_delay == 4:
         raise ValueError("injected fault at tr=4")
     return seeded_runner(cfg, **kwargs)
+
+
+def _stall(cycle=100):
+    return SimulationStalled(
+        StallDiagnosis(
+            cycle=cycle, window=100, in_flight=3, delivered_packets=0,
+            buffered_flits=3, queued_packets=0,
+        )
+    )
+
+
+def logged_runner(cfg, logdir, **kwargs):
+    """Append one line per execution attempt to a per-point log file."""
+    log = pathlib.Path(logdir) / f"tr{cfg.router_delay}"
+    with open(log, "a") as f:
+        f.write("attempt\n")
+    return seeded_runner(cfg, **kwargs)
+
+
+def attempts(logdir, router_delay):
+    log = pathlib.Path(logdir) / f"tr{router_delay}"
+    return len(log.read_text().splitlines()) if log.exists() else 0
+
+
+def stall_once_runner(cfg, logdir, **kwargs):
+    """Stall on the first attempt of each point, succeed afterwards."""
+    first = attempts(logdir, cfg.router_delay) == 0
+    logged_runner(cfg, logdir, **kwargs)
+    if first:
+        raise _stall()
+    return seeded_runner(cfg, **kwargs)
+
+
+def always_stalling_runner(cfg, logdir, **kwargs):
+    logged_runner(cfg, logdir, **kwargs)
+    raise _stall()
+
+
+def logged_faulty_runner(cfg, logdir, **kwargs):
+    logged_runner(cfg, logdir, **kwargs)
+    raise ValueError("deterministic failure")
+
+
+def hang_and_die_runner(cfg, logdir, **kwargs):
+    """tr=4/tr=16 hang forever; tr=8 kills its worker on the first attempt."""
+    logged_runner(cfg, logdir, **kwargs)
+    if cfg.router_delay in (4, 16):
+        time.sleep(120)
+    if cfg.router_delay == 8 and attempts(logdir, 8) == 1:
+        os._exit(13)
+    return seeded_runner(cfg, **kwargs)
+
+
+def interrupting_runner(cfg, **kwargs):
+    raise KeyboardInterrupt
 
 
 class TestEnumeratePoints:
@@ -233,3 +301,155 @@ class TestProductConfigs:
     def test_validation(self):
         with pytest.raises(ValueError):
             run_sweep(BASE, {}, seeded_runner, n_workers=0)
+
+    def test_max_retries_validated(self):
+        with pytest.raises(ValueError):
+            run_sweep(BASE, {}, seeded_runner, max_retries=-1)
+
+
+class TestHealthSummary:
+    def test_all_ok(self):
+        records = run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner)
+        assert isinstance(records, SweepRecords)
+        h = records.health
+        assert (h.total, h.ok, h.failed) == (2, 2, 0)
+        assert h.summary() == "2/2 ok"
+
+    def test_counts_deterministic_failures(self):
+        records = run_sweep(BASE, {"router_delay": (1, 2, 4, 8)}, faulty_runner)
+        h = records.health
+        assert (h.ok, h.failed, h.retried) == (3, 1, 0)
+        assert "3/4 ok" in h.summary() and "1 failed" in h.summary()
+
+    def test_resumed_points_counted(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(BASE, {"router_delay": (1, 2, 4)}, seeded_runner, journal=journal)
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:2]) + "\n")
+        resumed = run_sweep(
+            BASE, {"router_delay": (1, 2, 4)}, seeded_runner,
+            journal=journal, resume=True,
+        )
+        assert (resumed.health.ok, resumed.health.total) == (3, 3)
+
+
+class TestTransientRetry:
+    def test_backoff_grows_and_caps(self):
+        assert _backoff_seconds(1, 0.25) >= 0.25
+        for attempt in range(1, 12):
+            assert 0 < _backoff_seconds(attempt, 0.25) <= _MAX_BACKOFF * 1.25
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_stall_retried_then_succeeds(self, tmp_path, n_workers):
+        runner = functools.partial(stall_once_runner, logdir=str(tmp_path))
+        records = run_sweep(
+            BASE, {"router_delay": (1, 2)}, runner,
+            n_workers=n_workers, max_retries=2, retry_backoff=0.01,
+        )
+        assert all("draw" in r for r in records)
+        h = records.health
+        assert (h.ok, h.failed, h.retried, h.stalled) == (2, 0, 2, 0)
+        assert attempts(tmp_path, 1) == 2 and attempts(tmp_path, 2) == 2
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_retry_cap_respected(self, tmp_path, n_workers):
+        runner = functools.partial(always_stalling_runner, logdir=str(tmp_path))
+        records = run_sweep(
+            BASE, {"router_delay": (1,)}, runner,
+            n_workers=n_workers, max_retries=2, retry_backoff=0.01,
+        )
+        assert attempts(tmp_path, 1) == 3  # initial + 2 retries, no more
+        rec = records[0]
+        assert rec["failed"] and rec["error_kind"] == "stalled"
+        assert "SimulationStalled" in rec["error"]
+        h = records.health
+        assert (h.ok, h.failed, h.retried, h.stalled) == (0, 1, 2, 1)
+
+    def test_deterministic_errors_not_retried(self, tmp_path):
+        runner = functools.partial(logged_faulty_runner, logdir=str(tmp_path))
+        records = run_sweep(
+            BASE, {"router_delay": (1,)}, runner, max_retries=3, retry_backoff=0.01
+        )
+        assert attempts(tmp_path, 1) == 1
+        assert records.health.retried == 0
+        assert records[0]["error_kind"] == "error"
+
+
+class TestSelfHealingPool:
+    def test_hung_point_and_dead_worker_do_not_kill_the_sweep(self, tmp_path):
+        """Acceptance: one hard hang + one worker death, sweep completes.
+
+        The dying point (tr=8, first in the queue) kills its worker once and
+        succeeds when retried; the hung point (tr=4, last) is killed by the
+        point timeout.  The other points ride along unharmed.
+        """
+        runner = functools.partial(hang_and_die_runner, logdir=str(tmp_path))
+        records = run_sweep(
+            BASE, {"router_delay": (8, 1, 2, 4)}, runner,
+            n_workers=2, point_timeout=1.5, max_retries=1, retry_backoff=0.05,
+        )
+        by_tr = {r["router_delay"]: r for r in records}
+        assert "draw" in by_tr[1] and "draw" in by_tr[2]
+        assert "draw" in by_tr[8]  # recovered on retry after its worker died
+        assert attempts(tmp_path, 8) == 2  # initial + exactly one retry
+        hung = by_tr[4]
+        assert hung["failed"] and hung["error_kind"] == "timeout"
+        assert "worker killed" in hung["error"]
+        # 1 direct execution, +1 only if the hang was in flight during the
+        # worker death and got swept into that retry; never more (the
+        # timeout itself is not retried)
+        assert attempts(tmp_path, 4) in (1, 2)
+        h = records.health
+        assert h.ok == 3 and h.failed == 1
+        assert h.timed_out == 1 and h.worker_deaths >= 1 and h.retried >= 1
+        s = h.summary()
+        assert "3/4 ok" in s and "timed out" in s and "retries" in s
+
+    def test_timeout_frees_the_pool_slots(self, tmp_path):
+        """Timed-out points must not occupy workers for the sweep's rest.
+
+        Both workers hang on the first two points; the remaining points can
+        only complete if the hung workers were actually killed and replaced.
+        """
+        runner = functools.partial(hang_and_die_runner, logdir=str(tmp_path))
+        records = run_sweep(
+            BASE, {"router_delay": (4, 16, 1, 2)}, runner,
+            n_workers=2, point_timeout=1.0, max_retries=0,
+        )
+        by_tr = {r["router_delay"]: r for r in records}
+        assert by_tr[4]["error_kind"] == "timeout"
+        assert by_tr[16]["error_kind"] == "timeout"
+        assert "draw" in by_tr[1] and "draw" in by_tr[2]
+        assert records.health.summary().startswith("2/4 ok")
+        # each hung point executed exactly once: timeouts are not retried
+        assert attempts(tmp_path, 4) == 1 and attempts(tmp_path, 16) == 1
+
+    def test_point_timeout_requires_pool(self):
+        with pytest.raises(ValueError, match="point_timeout"):
+            run_sweep(
+                BASE, {"router_delay": (1,)}, seeded_runner,
+                n_workers=1, point_timeout=1.0,
+            )
+
+
+class TestKeyboardInterrupt:
+    def test_health_flushed_to_journal(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                BASE, {"router_delay": (1, 2)}, interrupting_runner, journal=journal
+            )
+        lines = journal.read_text().splitlines()
+        tail = json.loads(lines[-1])
+        assert tail["health"]["interrupted"] is True
+
+    def test_health_line_ignored_on_resume(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
+        with open(journal, "a") as f:
+            f.write(json.dumps({"health": {"interrupted": True}}) + "\n")
+        resumed = run_sweep(
+            BASE, {"router_delay": (1, 2)}, seeded_runner,
+            journal=journal, resume=True,
+        )
+        assert len(resumed) == 2 and resumed.health.ok == 2
