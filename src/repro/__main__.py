@@ -363,6 +363,19 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .core.bench import run_bench
+
+    return run_bench(
+        quick=args.quick,
+        only=args.only or None,
+        out_dir=args.out,
+        check=args.check,
+        fail_threshold=args.fail_threshold,
+        repeats=args.repeats,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -467,6 +480,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instructions", type=int, default=10000)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser(
+        "bench", help="perf microbenchmarks (writes BENCH_<name>.json records)"
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="scaled-down configs (CI smoke job)"
+    )
+    p.add_argument(
+        "--only",
+        action="append",
+        metavar="SCENARIO",
+        help="run one scenario (repeatable); default: all",
+    )
+    p.add_argument(
+        "--out", default="benchmarks/perf", help="output directory for BENCH records"
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on a speedup regression vs the committed records",
+    )
+    p.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed speedup_vs_dense drop before --check fails (default 0.25)",
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per scenario leg; best-of-N is recorded (default 3)",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     return parser
 

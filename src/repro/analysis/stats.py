@@ -127,13 +127,26 @@ def warmup_cutoff(series, *, max_fraction: float = 0.5) -> int:
     if n < 8:
         return 0
     limit = int(n * max_fraction)
-    best_cut, best_score = 0, float("inf")
-    for cut in range(0, limit + 1, max(1, limit // 64)):
-        rest = v[cut:]
-        score = rest.var() / rest.size
-        if score < best_score:
-            best_score = score
-            best_cut = cut
+    stride = max(1, limit // 64)
+
+    def _best(candidates, best_cut: int, best_score: float) -> tuple[int, float]:
+        for cut in candidates:
+            rest = v[cut:]
+            score = rest.var() / rest.size
+            if score < best_score:
+                best_score = score
+                best_cut = cut
+        return best_cut, best_score
+
+    # Coarse pass at ``stride`` granularity, then a fine scan of every cut
+    # within one stride of the coarse winner — the coarse grid alone can
+    # miss the true minimum by up to stride-1 samples, which on long series
+    # mislocates the transient/steady-state boundary by hundreds of points.
+    best_cut, best_score = _best(range(0, limit + 1, stride), 0, float("inf"))
+    if stride > 1:
+        lo = max(0, best_cut - stride + 1)
+        hi = min(limit, best_cut + stride - 1)
+        best_cut, best_score = _best(range(lo, hi + 1), best_cut, best_score)
     return best_cut
 
 

@@ -35,7 +35,14 @@ __all__ = [
 
 
 def pearson(x: Sequence[float], y: Sequence[float]) -> float:
-    """Pearson correlation coefficient of two equal-length samples."""
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Non-finite pairs are dropped (the paper excludes saturated points the
+    same way).  When either series has zero variance the coefficient is
+    mathematically undefined — the result is ``NaN``, never a fabricated
+    1.0 or 0.0, so downstream comparisons surface the degenerate input
+    instead of reporting perfect (anti)correlation.
+    """
     xa = np.asarray(x, dtype=np.float64)
     ya = np.asarray(y, dtype=np.float64)
     if xa.shape != ya.shape:
@@ -50,7 +57,7 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
     yd = ya - ya.mean()
     denom = np.sqrt((xd * xd).sum() * (yd * yd).sum())
     if denom == 0.0:
-        return 1.0 if np.allclose(xd, yd) else 0.0
+        return float("nan")
     return float((xd * yd).sum() / denom)
 
 

@@ -38,10 +38,15 @@ class LatencyStats:
         if values.size == 0:
             nan = float("nan")
             return cls(0, nan, nan, nan, nan, nan, nan, nan)
+        # Sample standard deviation (ddof=1): these are finite samples of
+        # the latency population, and the population formula (ddof=0)
+        # systematically under-reports spread on small windows.  A single
+        # sample has no defined spread — report NaN, not 0.
+        std = float(values.std(ddof=1)) if values.size > 1 else float("nan")
         return cls(
             count=int(values.size),
             mean=float(values.mean()),
-            std=float(values.std()),
+            std=std,
             minimum=float(values.min()),
             maximum=float(values.max()),
             p50=float(np.percentile(values, 50)),

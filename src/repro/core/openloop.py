@@ -70,6 +70,15 @@ class _TrafficInjector:
     Injects every cycle of the run (background traffic keeps flowing through
     the drain phase so tagged packets see steady-state contention); packets
     created during the measurement phase are tagged and counted on the sink.
+
+    Fast-forward support: the dense loop draws ``process.arrivals(gen)``
+    once per cycle, so :meth:`next_event_cycle` looks ahead by performing
+    exactly those draws for the skipped cycles — the RNG stream (and hence
+    every downstream ``dest``/``size`` draw) is bit-identical to the dense
+    loop's.  ``_drawn_until`` records how far the stream has been consumed
+    so a capped jump can never double-draw a cycle; the first non-empty
+    arrival set is cached and replayed by :meth:`inject` when the clock
+    reaches its cycle.
     """
 
     def __init__(self, pattern, sizes, process, gen, sink: "_MeasureSink"):
@@ -78,15 +87,30 @@ class _TrafficInjector:
         self.process = process
         self.gen = gen
         self.sink = sink
+        self._drawn_until = 0  # arrivals consumed for every cycle < this
+        self._cached_cycle = -1
+        self._cached_arrivals = None
 
     def inject(self, engine: SimulationEngine) -> None:
         net = engine.network
+        now = net.now
         gen = self.gen
+        if now == self._cached_cycle:
+            arrivals = self._cached_arrivals
+            self._cached_cycle = -1
+            self._cached_arrivals = None
+        elif now < self._drawn_until:
+            # This cycle's arrivals draw happened during lookahead and was
+            # empty (a non-empty one would have been cached); nothing to do.
+            return
+        else:
+            arrivals = self.process.arrivals(gen)
+            self._drawn_until = now + 1
         in_window = engine.in_measure
         pattern = self.pattern
         sizes = self.sizes
         sink = self.sink
-        for src in self.process.arrivals(gen):
+        for src in arrivals:
             src = int(src)
             dst = pattern.dest(src, gen)
             pkt = net.make_packet(src, dst, sizes.draw(gen), measured=in_window)
@@ -97,6 +121,28 @@ class _TrafficInjector:
     def done(self, engine: SimulationEngine) -> bool:
         # The source never exhausts; the run may end once the window closed.
         return engine.in_drain
+
+    def next_event_cycle(self, engine: SimulationEngine) -> Optional[int]:
+        """Next cycle with a non-empty arrivals draw (consuming the stream).
+
+        Called by the engine only while the network is idle; draws forward
+        at most to the budget (the run cannot execute cycles beyond it).
+        """
+        now = engine.network.now
+        if self._cached_cycle >= now:
+            return self._cached_cycle
+        cycle = max(now, self._drawn_until)
+        horizon = engine.max_cycles
+        if cycle >= horizon:
+            return horizon
+        offset, arrivals = self.process.first_arrival_block(self.gen, horizon - cycle)
+        if arrivals is None:
+            self._drawn_until = horizon
+            return horizon
+        self._drawn_until = cycle + offset + 1
+        self._cached_cycle = cycle + offset
+        self._cached_arrivals = arrivals
+        return cycle + offset
 
 
 class _MeasureSink:
@@ -131,6 +177,7 @@ class OpenLoopSimulator:
         probes: Optional[ProbeSet] = None,
         watchdog=None,
         check_invariants: Optional[bool] = None,
+        network_factory=Network,
     ):
         self.config = config
         self.pattern = pattern if pattern is not None else build_pattern(config)
@@ -147,6 +194,8 @@ class OpenLoopSimulator:
         #: optional resilience.Watchdog shared by every run of this simulator
         self.watchdog = watchdog
         self.check_invariants = check_invariants
+        # Injection point for instrumented networks (matches BatchSimulator).
+        self.network_factory = network_factory
 
     # -- single-point run -----------------------------------------------------
     def run(self, injection_rate: float, *, seed: Optional[int] = None) -> OpenLoopResult:
@@ -155,7 +204,7 @@ class OpenLoopSimulator:
             raise ValueError("injection_rate must be in (0, 1]")
         cfg = self.config
         seed = cfg.seed if seed is None else seed
-        net = Network(cfg)
+        net = self.network_factory(cfg)
         n = net.num_nodes
         gen = rng_mod.make_generator(seed, "openloop", injection_rate)
         # Offered load is in flits/cycle/node; the Bernoulli process draws

@@ -299,6 +299,17 @@ class FaultState:
     def has_events(self) -> bool:
         return bool(self._events)
 
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest pending activation/deactivation cycle (None when done).
+
+        Bounds the engine's idle-cycle fast-forward: a transient fault
+        window must open and close on its exact cycles even if the fabric
+        is empty when they arrive.
+        """
+        if not self._events:
+            return None
+        return min(self._events)
+
     def apply(self, now: int) -> None:
         """Apply the activation/deactivation events scheduled for ``now``."""
         bucket = self._events.pop(now, None)
@@ -603,6 +614,24 @@ class Watchdog:
             raise SimulationStalled(diagnose(net, window=self.window))
         self._last_sig = sig
 
+    def on_idle_gap(self, net, start: int, end: int) -> None:
+        """Account fast-forwarded idle cycles ``[start, end)``.
+
+        Fast-forward only happens with zero packets in flight, so no check
+        inside the gap could raise; this replays their bookkeeping — the
+        signature sample and the re-armed deadline — in O(1).  In the dense
+        loop checks would fire at ``_next_check``, ``_next_check + window``,
+        … up to the last observed clock value ``end``.
+        """
+        if end < self._next_check:
+            return
+        fired = (end - self._next_check) // self.window + 1
+        self._next_check += fired * self.window
+        self._last_sig = (
+            net.total_flits_delivered,
+            net.total_flit_traversals + int(net.flit_injections.sum()),
+        )
+
 
 # ---------------------------------------------------------------------------
 # Conservation invariants
@@ -634,6 +663,20 @@ class InvariantChecker:
         if net.now < self._next_check:
             return
         self._next_check = net.now + self.interval
+        self.check(net)
+
+    def on_idle_gap(self, net, start: int, end: int) -> None:
+        """Account fast-forwarded idle cycles ``[start, end)``.
+
+        Network state is frozen across the gap, so the audits the dense
+        loop would have run at each elapsed deadline are all the same
+        audit: run it once, then re-arm the deadline where the dense loop
+        would have left it.
+        """
+        if end < self._next_check:
+            return
+        fired = (end - self._next_check) // self.interval + 1
+        self._next_check += fired * self.interval
         self.check(net)
 
     def check(self, net) -> None:

@@ -222,6 +222,11 @@ class _TraceReplayer:
     def done(self, engine: SimulationEngine) -> bool:
         return self._next is None
 
+    def next_event_cycle(self, engine: SimulationEngine) -> Optional[int]:
+        """Timestamp of the next trace record (trace replay uses no RNG)."""
+        nxt = self._next
+        return nxt.time if nxt is not None else None
+
 
 class _ReplaySink:
     """Collects every delivered packet's latency; done once all drained."""
@@ -250,6 +255,7 @@ class TraceDrivenSimulator:
         trace: Trace,
         *,
         probes: Optional[ProbeSet] = None,
+        network_factory=Network,
     ):
         if trace.num_nodes != config.num_nodes:
             raise ValueError(
@@ -258,10 +264,12 @@ class TraceDrivenSimulator:
         self.config = config
         self.trace = trace
         self.probes = probes
+        # Injection point for instrumented networks (matches the other drivers).
+        self.network_factory = network_factory
 
     def run(self, *, drain_limit: int = 200_000) -> TraceDrivenResult:
         """Replay the full trace and drain; returns aggregate measurements."""
-        net = Network(self.config)
+        net = self.network_factory(self.config)
         sink = _ReplaySink()
         engine = SimulationEngine(
             net,

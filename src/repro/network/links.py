@@ -45,6 +45,18 @@ class TimeBuckets:
         self._buckets.clear()
         self.pending = 0
 
+    def next_time(self) -> Optional[int]:
+        """Earliest cycle with an undelivered event (None when empty).
+
+        Used by the idle-cycle fast-forward to bound clock jumps: the
+        simulator may never skip past a scheduled delivery.  The bucket
+        count is tiny (delays are 1-2 cycles), so ``min`` over the keys is
+        cheaper than maintaining a heap.
+        """
+        if not self._buckets:
+            return None
+        return min(self._buckets)
+
     def events(self):
         """Iterate over every undelivered event (order unspecified).
 

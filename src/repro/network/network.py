@@ -103,6 +103,12 @@ class Network(BaseNetwork):
         self.src_queues: list[deque] = [deque() for _ in range(n)]
         self._inj_state: list[Optional[list]] = [None] * n
         self._active_sources: set[int] = set()
+        # Active-set scheduling: only routers holding buffered flits are
+        # stepped each cycle.  A router enters the set when a flit is
+        # buffered into one of its input VCs (Router.enqueue) and leaves
+        # when its last buffer drains; on a near-idle fabric the per-cycle
+        # router work collapses from O(num_nodes) to O(|active|).
+        self._active_routers: set[int] = set()
         if self.faults is not None:
             # Faults starting at cycle 0 take effect before the first step.
             self.faults.apply(0)
@@ -137,16 +143,48 @@ class Network(BaseNetwork):
         # 3. Sources stream flits into injection ports (1 flit/node/cycle).
         if self._active_sources:
             self._inject_all(now)
-        # 4. Routers allocate and traverse.
-        for router in routers:
-            if router.busy:
+        # 4. Routers allocate and traverse.  Only routers with buffered
+        #    flits can do work; ascending node order is load-bearing when
+        #    credit_delay == 0 (same-cycle credit returns are visible to
+        #    higher-numbered routers), so the active set is sorted.
+        active = self._active_routers
+        if active:
+            retired: Optional[list[int]] = None
+            for node in sorted(active):
+                router = routers[node]
                 router.step(now)
+                if not router.busy:
+                    if retired is None:
+                        retired = [node]
+                    else:
+                        retired.append(node)
+            if retired is not None:
+                active.difference_update(retired)
         self.now = now + 1
         return delivered
 
     def buffered_flits(self) -> int:
         """Flits currently buffered across all routers (diagnostics)."""
         return sum(r.buffered_flits() for r in self.routers)
+
+    def next_internal_event_cycle(self) -> Optional[int]:
+        """Earliest in-flight credit/arrival delivery or fault event.
+
+        Caps the engine's idle-cycle fast-forward: an idle fabric can still
+        owe itself a credit return (tail delivered, credit in flight) or a
+        scheduled fault activation, and skipping either would corrupt
+        buffer accounting or the fault timeline.
+        """
+        nxt = self._credits.next_time()
+        t = self._arrivals.next_time()
+        if t is not None and (nxt is None or t < nxt):
+            nxt = t
+        fs = self.faults
+        if fs is not None:
+            t = fs.next_event_cycle()
+            if t is not None and (nxt is None or t < nxt):
+                nxt = t
+        return nxt
 
     # -- probe support ----------------------------------------------------------
     def probe_channels(self):

@@ -111,6 +111,7 @@ class Router:
         idx = in_port * self.num_vcs + vc
         self.ivcs[idx].fifo.append((packet, fidx, arrive + self.tr))
         self.busy.add(idx)
+        self.network._active_routers.add(self.node)
 
     def free_space(self, in_port: int, vc: int, buf_size: int) -> int:
         """Free flit slots in the (in_port, vc) buffer (injection-side check)."""
@@ -173,9 +174,12 @@ class Router:
         fm = self.fault_mask
         fv = self.network._fault_version
         active_ports = []
-        # RC / VA / SA-request gathering.
-        for idx in sorted(self.busy):
-            ivc = ivcs[idx]
+        # RC / VA / SA-request gathering.  Scanning all input VCs in index
+        # order visits exactly the members of ``self.busy`` ascending (the
+        # set tracks non-empty FIFOs) without the per-cycle sort/allocation.
+        for idx, ivc in enumerate(ivcs):
+            if not ivc.fifo:
+                continue
             head = ivc.fifo[0]
             if head[2] > now:
                 continue

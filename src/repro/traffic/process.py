@@ -40,6 +40,26 @@ class InjectionProcess(ABC):
     def arrivals(self, rng: np.random.Generator) -> np.ndarray:
         """Indices of nodes generating a packet this cycle."""
 
+    def first_arrival_block(
+        self, rng: np.random.Generator, limit: int
+    ) -> tuple[int, "np.ndarray | None"]:
+        """Offset and arrivals of the first non-empty cycle within ``limit``.
+
+        Consumes the RNG stream exactly as ``limit`` (or ``offset + 1``, on a
+        hit) successive :meth:`arrivals` calls would, so a caller alternating
+        between this and per-cycle draws stays bit-identical to a pure
+        per-cycle loop.  Returns ``(offset, arrivals)`` on a hit and
+        ``(limit, None)`` when every cycle in the window is empty.
+
+        This generic implementation just loops :meth:`arrivals`; memoryless
+        subclasses may vectorize (see :meth:`Bernoulli.first_arrival_block`).
+        """
+        for offset in range(limit):
+            arrivals = self.arrivals(rng)
+            if len(arrivals):
+                return offset, arrivals
+        return limit, None
+
     @property
     def average_rate(self) -> float:
         """Long-run packets/cycle/node."""
@@ -53,6 +73,49 @@ class Bernoulli(InjectionProcess):
 
     def arrivals(self, rng: np.random.Generator) -> np.ndarray:
         return np.nonzero(rng.random(self.num_nodes) < self.rate)[0]
+
+    def first_arrival_block(
+        self, rng: np.random.Generator, limit: int
+    ) -> tuple[int, "np.ndarray | None"]:
+        """Vectorized lookahead: draw whole blocks of cycles in one call.
+
+        ``Generator.random(k * n)`` consumes the same doubles, in the same
+        order, as ``k`` successive ``random(n)`` calls, so a block draw scans
+        ``k`` cycles at once.  When an arrival lands mid-block the generator
+        state saved before the block is restored and exactly ``offset + 1``
+        cycle-rows are redrawn — the stream position afterwards matches a
+        per-cycle loop that stopped on the same hit, bit for bit.  Block
+        sizes grow geometrically so short gaps don't pay for large draws.
+        """
+        n = self.num_nodes
+        p = self.rate
+        offset = 0
+        # Short gaps are common at moderate load: scan the first cycles
+        # with plain per-cycle draws (a hit there needs no block draw or
+        # state rewind) before escalating to blocks.
+        while offset < limit and offset < 2:
+            row = rng.random(n)
+            hit = np.nonzero(row < p)[0]
+            if len(hit):
+                return offset, hit
+            offset += 1
+        block_cycles = 16
+        while offset < limit:
+            k = min(block_cycles, limit - offset)
+            state = rng.bit_generator.state
+            block = rng.random(k * n).reshape(k, n)
+            hits = (block < p).any(axis=1)
+            if hits.any():
+                j = int(np.argmax(hits))
+                # Rewind and redraw up to the hit so the stream position is
+                # exactly where a per-cycle loop would have left it.
+                rng.bit_generator.state = state
+                rows = rng.random((j + 1) * n)
+                row = rows[j * n :]
+                return offset + j, np.nonzero(row < p)[0]
+            offset += k
+            block_cycles = min(block_cycles * 4, 512)
+        return limit, None
 
 
 class MarkovOnOff(InjectionProcess):

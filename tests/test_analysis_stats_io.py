@@ -105,6 +105,25 @@ class TestWarmupCutoff:
     def test_short_series(self):
         assert warmup_cutoff([1.0, 2.0]) == 0
 
+    def test_fine_scan_finds_off_grid_minimum(self):
+        # Regression: the coarse pass scans cuts at stride limit//64 (=31
+        # for n=4000), so a transient whose end falls between grid points
+        # used to be mislocated by up to stride-1 samples.  Exactly cutting
+        # the 517-sample spike block is the unique MSER minimum (517 is not
+        # a multiple of 31): any shorter cut keeps spike variance, any
+        # longer cut only shrinks the sample at steady variance.
+        c = 517
+        n = 4000
+        transient = np.full(c, 1000.0)
+        steady = 10.0 + np.tile([1.0, -1.0], n)[: n - c]
+        series = np.concatenate([transient, steady])
+        cut = warmup_cutoff(series)
+        assert cut == c
+        # And the result matches an exhaustive scan over every cut.
+        limit = n // 2
+        scores = [series[k:].var() / (n - k) for k in range(limit + 1)]
+        assert cut == int(np.argmin(scores))
+
 
 class TestIndexOfDispersion:
     def test_bernoulli_near_one(self):

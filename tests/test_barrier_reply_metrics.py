@@ -112,6 +112,19 @@ class TestMetrics:
         assert stats.minimum == 10 and stats.maximum == 40
         assert stats.p50 == 25
 
+    def test_latency_stats_sample_std(self):
+        # Regression: std must be the sample estimator (ddof=1), matching
+        # confidence_interval/batch_means — not the population formula.
+        stats = latency_stats(self._packets([10, 20, 30, 40]))
+        assert stats.std == pytest.approx(np.std([10, 20, 30, 40], ddof=1))
+
+    def test_latency_stats_single_value_has_nan_std(self):
+        # One sample has no defined spread: NaN, not 0.
+        stats = LatencyStats.from_values(np.array([42.0]))
+        assert stats.count == 1
+        assert stats.mean == 42.0
+        assert np.isnan(stats.std)
+
     def test_latency_stats_empty(self):
         stats = LatencyStats.from_values(np.array([]))
         assert stats.count == 0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -44,9 +46,25 @@ class TestPearson:
         with pytest.raises(ValueError):
             pearson([1, float("nan")], [1, 2])
 
-    def test_constant_series(self):
-        assert pearson([1, 1, 1], [1, 1, 1]) == 1.0
-        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+    def test_constant_series_is_nan(self):
+        # Regression: zero-variance input used to fabricate r=1.0 (identical
+        # constants) or r=0.0 — correlation is undefined there, so NaN.
+        assert math.isnan(pearson([1, 1, 1], [1, 1, 1]))
+        assert math.isnan(pearson([1, 1, 1], [1, 2, 3]))
+        assert math.isnan(pearson([1, 2, 3], [5, 5, 5]))
+
+    def test_constant_series_surfaces_through_correlate(self):
+        # A degenerate scatter must report NaN from the driver too, not a
+        # silently perfect correlation.
+        res = correlate(
+            [1.0, 1.0, 1.0],
+            [1.0, 2.0, 3.0],
+            keys=[("a",), ("b",), ("c",)],
+            groups=[0, 0, 0],
+            baselines=[True, False, False],
+        )
+        assert math.isnan(res.r)
+        assert len(res.pairs) == 3
 
 
 class TestNormalizePerGroup:
