@@ -17,18 +17,24 @@ session-scoped fixtures (Fig. 14/15/18/19 all consume the same runs).
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import pathlib
 
+import numpy as np
 import pytest
 
 from repro.config import CmpConfig, NetworkConfig
+from repro.core.cache import ResultCache, cache_disabled, fingerprint
 from repro.execdriven import (
     BENCHMARKS,
     TIMER_INTERVAL_3GHZ,
     TIMER_INTERVAL_75MHZ,
+    CmpResult,
     CmpSystem,
     characterize,
 )
+from repro.execdriven.characterize import Characterization
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -73,40 +79,114 @@ def cmp_config(tr: int) -> CmpConfig:
     )
 
 
+# --- content-addressed result cache (repro.core.cache) ----------------------
+#
+# The execution-driven session fixtures dominate the suite's wall time and
+# are pure functions of (benchmark, tr, instructions, timer, seed) plus the
+# simulation source — exactly what the cache fingerprints.  A warm cache
+# turns the whole figure pipeline into replay; the code-version salt
+# invalidates every entry the moment simulation-relevant source changes.
+
+_NDARRAY_FIELDS = ("timeline", "traffic_matrix", "logical_matrix")
+
+
+def _encode_cmp_result(res: CmpResult) -> dict:
+    rec = dataclasses.asdict(res)
+    for name in _NDARRAY_FIELDS:
+        arr = rec[name]
+        rec[name] = {"data": arr.tolist(), "dtype": str(arr.dtype)}
+    rec.pop("probe_records")  # always empty here; lists don't round-trip JSON-checked
+    return rec
+
+
+def _decode_cmp_result(rec: dict) -> CmpResult:
+    rec = dict(rec)
+    for name in _NDARRAY_FIELDS:
+        spec = rec[name]
+        rec[name] = np.array(spec["data"], dtype=spec["dtype"])
+    rec["flits_by_class"] = {int(k): v for k, v in rec["flits_by_class"].items()}
+    rec["l2_miss_by_class"] = {int(k): v for k, v in rec["l2_miss_by_class"].items()}
+    return CmpResult(probe_records=[], **rec)
+
+
 @pytest.fixture(scope="session")
-def exec_results_3ghz():
+def figure_cache():
+    """Session result cache for the figure pipeline (None when disabled).
+
+    Lives under ``$REPRO_CACHE_DIR`` (CI restores it keyed on the code
+    fingerprint) or ``benchmarks/.cache`` locally; ``REPRO_NO_CACHE=1``
+    turns it off entirely.  Hit/miss counters flush to ``stats.json`` at
+    session end so ``repro cache stats`` reports them.
+    """
+    if cache_disabled():
+        yield None
+        return
+    root = os.environ.get("REPRO_CACHE_DIR") or str(pathlib.Path(__file__).parent / ".cache")
+    cache = ResultCache(root)
+    yield cache
+    cache.flush_stats()
+
+
+def _memoized(cache, context: str, params: dict, compute, encode, decode):
+    """Content-addressed memoization of one deterministic computation."""
+    if cache is None:
+        return compute()
+    key = fingerprint({"context": context, "params": params})
+    hit = cache.get(key)
+    if hit is not None:
+        return decode(hit)
+    value = compute()
+    cache.put(key, encode(value), {"context": context, "params": params})
+    return value
+
+
+def _exec_results(cache, context: str, instructions: int, timer_interval: int) -> dict:
+    out = {}
+    for name, factory in BENCHMARKS.items():
+        for tr in TR_VALUES:
+            out[name, tr] = _memoized(
+                cache,
+                context,
+                {
+                    "benchmark": name,
+                    "tr": tr,
+                    "instructions": instructions,
+                    "timer_interval": timer_interval,
+                    "seed": 2,
+                },
+                lambda: CmpSystem(
+                    factory(instructions),
+                    cmp_config(tr),
+                    timer_interval=timer_interval,
+                    seed=2,
+                ).run(),
+                _encode_cmp_result,
+                _decode_cmp_result,
+            )
+    return out
+
+
+@pytest.fixture(scope="session")
+def exec_results_3ghz(figure_cache):
     """CmpResult per (benchmark, tr) at the 3 GHz timer configuration."""
-    out = {}
-    for name, factory in BENCHMARKS.items():
-        for tr in TR_VALUES:
-            system = CmpSystem(
-                factory(EXEC_INSTRUCTIONS),
-                cmp_config(tr),
-                timer_interval=TIMER_INTERVAL_3GHZ,
-                seed=2,
-            )
-            out[name, tr] = system.run()
-    return out
+    return _exec_results(
+        figure_cache, "benchmarks.exec_results_3ghz", EXEC_INSTRUCTIONS, TIMER_INTERVAL_3GHZ
+    )
 
 
 @pytest.fixture(scope="session")
-def exec_results_75mhz():
+def exec_results_75mhz(figure_cache):
     """CmpResult per (benchmark, tr) at the 75 MHz (Simics default) timer."""
-    out = {}
-    for name, factory in BENCHMARKS.items():
-        for tr in TR_VALUES:
-            system = CmpSystem(
-                factory(EXEC_INSTRUCTIONS_75MHZ),
-                cmp_config(tr),
-                timer_interval=TIMER_INTERVAL_75MHZ,
-                seed=2,
-            )
-            out[name, tr] = system.run()
-    return out
+    return _exec_results(
+        figure_cache,
+        "benchmarks.exec_results_75mhz",
+        EXEC_INSTRUCTIONS_75MHZ,
+        TIMER_INTERVAL_75MHZ,
+    )
 
 
 @pytest.fixture(scope="session")
-def characterizations():
+def characterizations(figure_cache):
     """Timer-free ideal-network characterization per benchmark.
 
     Running without the timer keeps the Table III/IV NAR and miss-rate
@@ -115,6 +195,13 @@ def characterizations():
     timer rate explicitly via ``derive_batch_params(..., timer_rate=...)``.
     """
     return {
-        name: characterize(factory(EXEC_INSTRUCTIONS), seed=2)
+        name: _memoized(
+            figure_cache,
+            "benchmarks.characterizations",
+            {"benchmark": name, "instructions": EXEC_INSTRUCTIONS, "seed": 2},
+            lambda: characterize(factory(EXEC_INSTRUCTIONS), seed=2),
+            dataclasses.asdict,
+            lambda rec: Characterization(**rec),
+        )
         for name, factory in BENCHMARKS.items()
     }

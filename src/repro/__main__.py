@@ -226,12 +226,17 @@ def _print_progress(p: SweepProgress) -> None:
 
 
 def _cmd_sweep(args) -> int:
+    from .core.cache import default_cache_dir
+
     cfg = _network_config(args)
     rates = tuple(float(r) for r in args.rates.split(","))
     axes = dict(args.axis or [])
     if args.resume and not args.journal:
         print("--resume requires --journal", file=sys.stderr)
         return 2
+    cache = None
+    if args.cache is not None:
+        cache = args.cache or default_cache_dir()
     runner = functools.partial(
         _openloop_runner, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
     )
@@ -247,6 +252,7 @@ def _cmd_sweep(args) -> int:
             progress=_print_progress if args.progress else None,
             point_timeout=args.point_timeout,
             max_retries=args.max_retries,
+            cache=cache,
         )
     except ValueError as exc:  # bad n_workers, journal/axes mismatch, ...
         print(f"sweep error: {exc}", file=sys.stderr)
@@ -373,7 +379,57 @@ def _cmd_bench(args) -> int:
         check=args.check,
         fail_threshold=args.fail_threshold,
         repeats=args.repeats,
+        update_baselines=args.update_baselines,
     )
+
+
+def _cmd_cache(args) -> int:
+    from .core.cache import (
+        ResultCache,
+        cache_salt,
+        default_cache_dir,
+        verify_entries,
+    )
+
+    cache_dir = args.dir or default_cache_dir()
+    cache = ResultCache(cache_dir)
+    if args.action == "stats":
+        totals = cache.cumulative_stats()
+        contexts: dict[str, int] = {}
+        for entry in cache.entries():
+            ctx = str(entry.get("context") or "?")
+            contexts[ctx] = contexts.get(ctx, 0) + 1
+        print(f"cache {cache.path}")
+        print(f"  salt     {cache_salt()[:16]}")
+        print(f"  entries  {len(cache)}")
+        print(f"  bytes    {cache.total_bytes}")
+        for name in ("hits", "misses", "writes"):
+            print(f"  {name:<8} {int(totals.get(name, 0))}")
+        for ctx in sorted(contexts):
+            print(f"  context  {ctx}: {contexts[ctx]} entries")
+        return 0
+    if args.action == "verify":
+        if len(cache) == 0:
+            print("cache is empty; nothing to verify")
+            return 0
+        results = verify_entries(cache, sample=args.sample, seed=args.seed)
+        bad = 0
+        for res in results:
+            print(f"  {res.key[:16]} {res.status}" + (f": {res.detail}" if res.detail else ""))
+            bad += res.status == "mismatch"
+        print(f"verified {len(results)} sampled entr{'y' if len(results) == 1 else 'ies'}: "
+              f"{bad} mismatch(es)")
+        return 1 if bad else 0
+    # gc
+    if args.max_bytes is None:
+        print("cache gc requires --max-bytes", file=sys.stderr)
+        return 2
+    res = cache.gc(args.max_bytes)
+    print(
+        f"gc: kept {res.kept}, dropped {res.dropped} "
+        f"({res.bytes_before} -> {res.bytes_after} bytes)"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -438,6 +494,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="retry transient point failures (stalls, worker deaths) up to "
         "this many times (default 2)",
+    )
+    p.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="reuse identical (config, seed) points from a content-addressed "
+        "result cache (default dir: $REPRO_CACHE_DIR or .repro-cache); "
+        "REPRO_NO_CACHE=1 bypasses it",
     )
     p.set_defaults(func=_cmd_sweep)
 
@@ -514,7 +580,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="timing repeats per scenario leg; best-of-N is recorded (default 3)",
     )
+    p.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="refresh seed_baseline.json from this run's cycles/sec (run on "
+        "the reference host, then commit the regenerated records)",
+    )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "cache", help="content-addressed result cache: stats, verify, gc"
+    )
+    p.add_argument(
+        "action",
+        choices=("stats", "verify", "gc"),
+        help="stats: counters and store size; verify: re-run sampled entries "
+        "and diff bit-for-bit; gc: evict oldest entries past --max-bytes",
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc: shrink the store under this many bytes (oldest evicted first)",
+    )
+    p.add_argument(
+        "--sample", type=int, default=1, help="verify: how many entries to re-run"
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="verify: sampling seed (deterministic)"
+    )
+    p.set_defaults(func=_cmd_cache)
 
     return parser
 

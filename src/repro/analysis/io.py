@@ -12,6 +12,7 @@ killed sweep can always resume.
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
 import pathlib
@@ -24,6 +25,8 @@ __all__ = [
     "load_records",
     "append_jsonl",
     "read_jsonl",
+    "canonical_json",
+    "record_digest",
 ]
 
 
@@ -51,6 +54,22 @@ def _coerce(value: str) -> Any:
     except ValueError:
         pass
     return value
+
+
+def canonical_json(obj: Any) -> str:
+    """A canonical JSON rendering: sorted keys, tight separators, ``str`` fallback.
+
+    Two structurally equal mappings serialize to the same bytes regardless
+    of insertion order, which makes the output safe to hash — this is the
+    serialization under every content-addressed fingerprint in
+    :mod:`repro.core.cache` and the record digests the cache tests compare.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def record_digest(record: Mapping[str, Any] | Sequence[Any]) -> str:
+    """sha256 hex digest of a record (or record list) in canonical JSON."""
+    return hashlib.sha256(canonical_json(record).encode("utf-8")).hexdigest()
 
 
 def records_to_csv(records: Sequence[Mapping[str, Any]]) -> str:

@@ -265,6 +265,7 @@ def run_bench(
     check: bool = False,
     fail_threshold: float = 0.25,
     repeats: int = 3,
+    update_baselines: bool = False,
     echo: Callable[[str], None] = print,
 ) -> int:
     """Run the harness; returns a process exit code (0 ok, 1 regression).
@@ -273,6 +274,12 @@ def run_bench(
     scenario into ``out_dir``.  With ``check=True`` the *previously
     committed* file is read first and the fresh ``speedup_vs_dense`` must
     not fall more than ``fail_threshold`` below it.
+
+    ``update_baselines=True`` additionally rewrites the scenarios' entries
+    in ``seed_baseline.json`` (for the mode being run) with this run's
+    cycles/sec — the sanctioned way to re-baseline ``speedup_vs_seed``
+    without hand-editing JSON.  Run it on the reference host and commit
+    the regenerated files.
     """
     out_dir = Path(out_dir)
     names = list(only) if only else list(SCENARIOS)
@@ -283,9 +290,11 @@ def run_bench(
             f"(choose from {', '.join(SCENARIOS)})"
         )
     mode = "quick" if quick else "full"
-    seed_baseline = _load_seed_baseline(out_dir).get(mode, {})
+    all_baselines = _load_seed_baseline(out_dir)
+    seed_baseline = all_baselines.get(mode, {})
     out_dir.mkdir(parents=True, exist_ok=True)
     failures: list[str] = []
+    fresh_cps: dict[str, float] = {}
     echo(f"repro bench [{mode}]: {len(names)} scenario(s)")
     for name, path in zip(names, bench_paths(out_dir, names, quick=quick)):
         scenario = SCENARIOS[name]
@@ -339,9 +348,20 @@ def run_bench(
                     f"{floor:.3f} (committed {committed['speedup_vs_dense']:.3f} "
                     f"- {fail_threshold:.0%})"
                 )
+        fresh_cps[name] = fast["cycles_per_sec"]
         with open(path, "w") as f:
             json.dump(record, f, indent=1, sort_keys=True)
             f.write("\n")
+    if update_baselines:
+        updated = dict(all_baselines)
+        updated[mode] = {**updated.get(mode, {}), **fresh_cps}
+        with open(out_dir / "seed_baseline.json", "w") as f:
+            json.dump(updated, f, indent=1, sort_keys=True)
+            f.write("\n")
+        echo(
+            f"updated seed_baseline.json [{mode}] for "
+            f"{', '.join(sorted(fresh_cps))}"
+        )
     if failures:
         echo("PERF REGRESSION:")
         for msg in failures:

@@ -1,0 +1,458 @@
+"""Content-addressed result cache for sweeps and figure reproduction.
+
+The framework's workloads re-run the same (config, seed) points constantly:
+latency-load grids behind the figure harnesses, correlation sweeps, CI
+reruns of identical commits.  Every point is deterministic — same resolved
+config, same seed, same code ⇒ bit-identical record — so recomputing one is
+pure waste.  This module memoizes them on disk, BookSim-style:
+
+* **Content addressing.**  A point's identity is the sha256 fingerprint of
+  its *resolved* configuration dict, its extra-axis kwargs, the identity of
+  the runner that produced it, and a **code-version salt**.  The salt folds
+  in ``repro.__version__`` plus a per-module source digest of the hot-path
+  files (``config``/``rng`` and the ``core``, ``network``, ``routing``,
+  ``topology``, ``traffic``, ``execdriven`` packages), so any edit to
+  simulation-relevant code invalidates the cache cleanly.  A doc-only edit
+  that is *known* not to change results can opt in to the old entries by
+  pinning ``REPRO_CACHE_SALT`` to the previous salt.
+* **Store layout.**  One append-only JSON-lines file (``store.jsonl``)
+  holding full entries — key, provenance metadata, record — plus an
+  in-memory sha256 index built on open.  A tail truncated by a crash is
+  tolerated exactly like the sweep journal: complete lines load, the
+  partial line is dropped.  ``stats.json`` accumulates hit/miss/write
+  counters across runs.
+* **Write-back on success only.**  Failed, stalled, or timed-out points
+  are never cached; they re-run next time.
+* **Kill switch.**  ``REPRO_NO_CACHE=1`` disables every lookup and
+  write-back, regardless of what callers pass.
+
+Integration points: :func:`repro.core.parallel.run_sweep` (``cache=``
+argument; lookup before a point is dispatched to the pool, write-back as
+records land), the figure-benchmark fixtures in ``benchmarks/conftest.py``,
+and the ``repro cache`` CLI (``stats`` / ``verify`` / ``gc``).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import functools
+import hashlib
+import importlib
+import json
+import os
+import pathlib
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from ..analysis.io import append_jsonl, canonical_json, read_jsonl
+
+__all__ = [
+    "CacheStats",
+    "GCResult",
+    "ResultCache",
+    "VerifyResult",
+    "cache_disabled",
+    "cache_salt",
+    "code_fingerprint",
+    "default_cache_dir",
+    "fingerprint",
+    "point_key",
+    "provenance",
+    "resolve_cache",
+    "runner_spec",
+    "verify_entries",
+]
+
+#: Environment variable that disables the cache entirely.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable pinning the code-version salt explicitly (the
+#: doc-only-edit opt-in: pin it to the previous salt to keep old entries).
+CACHE_SALT_ENV = "REPRO_CACHE_SALT"
+
+#: Hot-path modules/packages whose source feeds the code-version salt.
+#: ``analysis`` and ``__main__`` are deliberately absent: plotting and CLI
+#: wiring cannot change a simulation record.
+_HOT_PATHS = (
+    "config.py",
+    "rng.py",
+    "core",
+    "network",
+    "routing",
+    "topology",
+    "traffic",
+    "execdriven",
+)
+
+_STORE_NAME = "store.jsonl"
+_STATS_NAME = "stats.json"
+
+
+def cache_disabled() -> bool:
+    """True when ``REPRO_NO_CACHE`` requests a full bypass."""
+    return os.environ.get(NO_CACHE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return pathlib.Path(os.environ.get(CACHE_DIR_ENV) or ".repro-cache")
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> dict:
+    """Per-module sha256 source digests of the hot-path files.
+
+    Keys are paths relative to the ``repro`` package (``core/engine.py``),
+    values are hex digests of the file bytes.  Computed once per process —
+    the sources cannot change under a running interpreter in any way that
+    matters to the records it will produce.
+    """
+    pkg_root = pathlib.Path(__file__).resolve().parent.parent
+    digests: dict[str, str] = {}
+    for rel in _HOT_PATHS:
+        target = pkg_root / rel
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for f in files:
+            if f.exists():
+                digests[f.relative_to(pkg_root).as_posix()] = hashlib.sha256(
+                    f.read_bytes()
+                ).hexdigest()
+    return digests
+
+
+@functools.lru_cache(maxsize=1)
+def _computed_salt() -> str:
+    from .. import __version__
+
+    payload = {"version": __version__, "sources": code_fingerprint()}
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def cache_salt() -> str:
+    """The code-version salt: ``REPRO_CACHE_SALT`` if pinned, else computed."""
+    return os.environ.get(CACHE_SALT_ENV) or _computed_salt()
+
+
+def _json_default(obj: Any) -> Any:
+    """JSON fallback that keeps numeric types numeric (bit-exact floats)."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+def _jsonable(obj: Any) -> Any:
+    """``obj`` as it reads back from JSON (tuples→lists, numpy→native)."""
+    return json.loads(json.dumps(obj, default=_json_default))
+
+
+def fingerprint(payload: Mapping[str, Any], *, salt: Optional[str] = None) -> str:
+    """sha256 key of an arbitrary JSON-able payload under the code salt."""
+    body = {"payload": payload, "salt": salt if salt is not None else cache_salt()}
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def runner_spec(runner: Callable[..., Any]) -> dict[str, Any]:
+    """A stable, JSON-able identity for a sweep runner.
+
+    Two different runners must never share cache entries, so the spec folds
+    in the dotted name, any :func:`functools.partial` binding (args and
+    keywords, recursively), and — for functions — a CRC of the compiled
+    bytecode, which distinguishes same-named lambdas and tracks edits to
+    runners living outside the salted ``repro`` package.
+    """
+    if isinstance(runner, functools.partial):
+        return {
+            "partial_of": runner_spec(runner.func),
+            "args": _jsonable(list(runner.args)),
+            "kwargs": _jsonable(dict(runner.keywords or {})),
+        }
+    spec: dict[str, Any] = {
+        "runner": f"{getattr(runner, '__module__', '?')}:"
+        f"{getattr(runner, '__qualname__', repr(type(runner).__name__))}"
+    }
+    code = getattr(runner, "__code__", None)
+    if code is not None:
+        spec["code_crc"] = zlib.crc32(code.co_code)
+    return spec
+
+
+def provenance(spec: Mapping[str, Any]) -> tuple[Optional[str], dict[str, Any]]:
+    """(dotted runner name, merged keyword bindings) from a runner spec.
+
+    Flattens a :func:`functools.partial` chain so ``repro cache verify``
+    can rebuild the callable; outer bindings shadow inner ones exactly as
+    ``partial.__call__`` resolves them.  Positional partial args make the
+    call unreconstructible from keywords alone → ``(None, {})``.
+    """
+    runner_kwargs: dict[str, Any] = {}
+    node: Mapping[str, Any] = spec
+    while "partial_of" in node:
+        if node.get("args"):
+            return None, {}
+        for name, value in (node.get("kwargs") or {}).items():
+            runner_kwargs.setdefault(name, value)
+        node = node["partial_of"]
+    return node.get("runner"), runner_kwargs
+
+
+def point_key(
+    config_dict: Mapping[str, Any],
+    kwargs: Mapping[str, Any],
+    spec: Mapping[str, Any],
+    *,
+    salt: Optional[str] = None,
+) -> str:
+    """Cache key of one sweep point: resolved config × kwargs × runner."""
+    return fingerprint(
+        {
+            "config": _jsonable(dict(config_dict)),
+            "kwargs": _jsonable(dict(kwargs)),
+            "runner": spec,
+        },
+        salt=salt,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Per-process cache counters (cumulative ones live in ``stats.json``)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class GCResult:
+    """Outcome of one :meth:`ResultCache.gc` pass."""
+
+    kept: int
+    dropped: int
+    bytes_before: int
+    bytes_after: int
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Outcome of re-running one sampled cache entry."""
+
+    key: str
+    status: str  # "ok" | "mismatch" | "skipped"
+    detail: str = ""
+
+
+class ResultCache:
+    """Content-addressed on-disk store: JSONL records + sha256 index.
+
+    Open is cheap (one linear scan of ``store.jsonl``); lookups are a dict
+    probe; writes append one flushed line.  Duplicate keys resolve to the
+    newest line, so re-caching an entry is an overwrite without a rewrite.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.store_path = self.path / _STORE_NAME
+        self.stats = CacheStats()
+        self._repair_tail()
+        self._index: dict[str, dict[str, Any]] = {}
+        for entry in read_jsonl(self.store_path):
+            if "key" in entry and "record" in entry:
+                self._index[entry["key"]] = entry
+
+    def _repair_tail(self) -> None:
+        """Drop a partial trailing line left by a crash mid-append.
+
+        Reads tolerate the partial line, but a subsequent append would glue
+        a fresh entry onto it and corrupt *that* record too — so truncate
+        back to the last complete line before accepting writes.
+        """
+        if not self.store_path.exists():
+            return
+        data = self.store_path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1
+        with open(self.store_path, "r+b") as fh:
+            fh.truncate(cut)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes the store occupies on disk (0 for a fresh cache)."""
+        return self.store_path.stat().st_size if self.store_path.exists() else 0
+
+    def entries(self) -> list[dict[str, Any]]:
+        """All live entries, oldest first."""
+        return list(self._index.values())
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """The cached record for ``key`` (a private copy), or ``None``."""
+        entry = self._index.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return copy.deepcopy(entry["record"])
+
+    def put(
+        self, key: str, record: Mapping[str, Any], meta: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        """Store ``record`` under ``key`` with provenance ``meta`` fields."""
+        entry = dict(meta or {})
+        entry["key"] = key
+        entry["record"] = _jsonable(dict(record))
+        before = self.total_bytes
+        append_jsonl(entry, self.store_path)
+        self.stats.writes += 1
+        self.stats.bytes_written += self.total_bytes - before
+        self._index[key] = entry
+
+    def flush_stats(self) -> None:
+        """Fold this process's counters into the cumulative ``stats.json``."""
+        if not (self.stats.hits or self.stats.misses or self.stats.writes):
+            return
+        totals = self.cumulative_stats()
+        for name, value in self.stats.as_dict().items():
+            totals[name] = int(totals.get(name, 0)) + value
+        (self.path / _STATS_NAME).write_text(json.dumps(totals, indent=1) + "\n")
+        self.stats = CacheStats()
+
+    def cumulative_stats(self) -> dict[str, int]:
+        """Counters accumulated by every run against this cache directory."""
+        path = self.path / _STATS_NAME
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def gc(self, max_bytes: int) -> GCResult:
+        """Shrink the store under ``max_bytes``, evicting oldest-first.
+
+        Rewrites ``store.jsonl`` with the newest entries whose encoded
+        lines fit the budget (insertion order preserved among survivors),
+        which also compacts away lines shadowed by duplicate keys.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        bytes_before = self.total_bytes
+        entries = self.entries()
+        kept: list[dict[str, Any]] = []
+        budget = max_bytes
+        for entry in reversed(entries):
+            size = len(json.dumps(entry, default=_json_default)) + 1
+            if size > budget:
+                break
+            budget -= size
+            kept.append(entry)
+        kept.reverse()
+        self.store_path.write_text("")
+        if kept:
+            append_jsonl(kept, self.store_path)
+        self._index = {e["key"]: e for e in kept}
+        return GCResult(
+            kept=len(kept),
+            dropped=len(entries) - len(kept),
+            bytes_before=bytes_before,
+            bytes_after=self.total_bytes,
+        )
+
+
+def resolve_cache(cache) -> Optional[ResultCache]:
+    """Normalize a ``cache=`` argument: path → store, honoring the kill switch."""
+    if cache is None or cache_disabled():
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _import_runner(dotted: str) -> Callable[..., Any]:
+    module_name, _, qualname = dotted.partition(":")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def rerun_entry(entry: Mapping[str, Any]) -> VerifyResult:
+    """Re-execute one sweep-cache entry and diff its record bit-for-bit.
+
+    Only entries written by :func:`repro.core.parallel.run_sweep` carry the
+    provenance needed to reconstruct the run (resolved config, extra
+    kwargs, an importable runner); anything else is reported ``skipped``.
+    The diff covers every runner-output field; ``wall_seconds`` is excluded
+    because timing is the one field determinism does not promise.
+    """
+    from ..config import NetworkConfig
+
+    key = str(entry.get("key", "?"))
+    spec = entry.get("runner_spec") or {}
+    dotted = spec.get("runner") if isinstance(spec, Mapping) else None
+    config = entry.get("config")
+    if not dotted or not isinstance(config, Mapping):
+        return VerifyResult(key, "skipped", "entry has no importable runner provenance")
+    try:
+        runner = _import_runner(dotted)
+    except (ImportError, AttributeError) as exc:
+        return VerifyResult(key, "skipped", f"runner {dotted!r} not importable: {exc}")
+    kwargs = dict(entry.get("kwargs") or {})
+    runner_kwargs = dict(entry.get("runner_kwargs") or {})
+    try:
+        cfg = NetworkConfig(**config)
+        fresh = runner(cfg, **runner_kwargs, **kwargs)
+    except Exception as exc:
+        return VerifyResult(key, "mismatch", f"re-run raised {type(exc).__name__}: {exc}")
+    coords = set(entry.get("coords") or kwargs)
+    cached_out = {
+        k: v
+        for k, v in dict(entry["record"]).items()
+        if k not in coords and k != "wall_seconds"
+    }
+    fresh_out = _jsonable(dict(fresh))
+    if canonical_json(cached_out) != canonical_json(fresh_out):
+        diffs = [
+            f"{name}: cached={cached_out.get(name)!r} fresh={fresh_out.get(name)!r}"
+            for name in sorted(set(cached_out) | set(fresh_out))
+            if canonical_json(cached_out.get(name)) != canonical_json(fresh_out.get(name))
+        ]
+        return VerifyResult(key, "mismatch", "; ".join(diffs))
+    return VerifyResult(key, "ok")
+
+
+def verify_entries(
+    cache: ResultCache, *, sample: int = 1, seed: int = 0
+) -> list[VerifyResult]:
+    """Re-run ``sample`` entries drawn deterministically from ``cache``.
+
+    Sampling is seeded and keyed on the sorted entry keys, so the same
+    cache state verifies the same points — a flaky verify would be worse
+    than none.  Returns one :class:`VerifyResult` per sampled entry.
+    """
+    if sample < 1:
+        raise ValueError("sample must be >= 1")
+    entries = sorted(cache.entries(), key=lambda e: e["key"])
+    if not entries:
+        return []
+    gen = np.random.default_rng(seed)
+    count = min(sample, len(entries))
+    chosen = gen.choice(len(entries), size=count, replace=False)
+    return [rerun_entry(entries[i]) for i in sorted(int(c) for c in chosen)]

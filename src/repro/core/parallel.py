@@ -58,6 +58,7 @@ from typing import Any, Callable, Mapping, Sequence
 from .. import rng
 from ..analysis.io import append_jsonl, read_jsonl
 from ..config import NetworkConfig
+from . import cache as result_cache
 from .resilience import SimulationStalled
 
 __all__ = [
@@ -139,6 +140,9 @@ class SweepHealth:
     stalled: int = 0
     worker_deaths: int = 0
     interrupted: bool = False
+    #: points satisfied from / missed by the result cache (0/0 = no cache)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def summary(self) -> str:
         parts = [f"{self.ok}/{self.total} ok"]
@@ -152,6 +156,8 @@ class SweepHealth:
             parts.append(f"{self.retried} retries")
         if self.worker_deaths:
             parts.append(f"{self.worker_deaths} worker deaths")
+        if self.cache_hits or self.cache_misses:
+            parts.append(f"{self.cache_hits}/{self.cache_hits + self.cache_misses} cache hits")
         if self.interrupted:
             parts.append("interrupted")
         return ", ".join(parts)
@@ -486,6 +492,7 @@ def run_sweep(
     derive_seeds: bool = True,
     max_retries: int = 2,
     retry_backoff: float = 0.25,
+    cache=None,
 ) -> SweepRecords:
     """Run ``runner`` over every sweep point; collect records in canonical order.
 
@@ -500,6 +507,15 @@ def run_sweep(
     starting at ``retry_backoff`` seconds; the returned
     :class:`SweepRecords` list carries the sweep's :class:`SweepHealth`
     under ``.health``.
+
+    ``cache`` names a content-addressed result store (a directory path or
+    a :class:`repro.core.cache.ResultCache`).  Each point is looked up by
+    its fingerprint — resolved config, kwargs, runner identity, code salt
+    — *before* it is dispatched; hits replay the stored record (journal
+    and progress included, counted in ``health.cache_hits``), misses run
+    and are written back on success only.  ``REPRO_NO_CACHE=1`` disables
+    the cache regardless of this argument; records are bit-identical with
+    the cache cold, warm, or off.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
@@ -538,6 +554,38 @@ def run_sweep(
     pending = [p for p in points if p.index not in results]
     health = SweepHealth(total=len(points))
 
+    # Cache lookup happens before dispatch: hits never touch the pool.
+    # Misses remember their key so ``emit`` can write back on success.
+    store = result_cache.resolve_cache(cache)
+    cache_keys: dict[int, str] = {}
+    cache_meta: dict[int, dict[str, Any]] = {}
+    cache_hit_records: list[tuple[SweepPoint, dict[str, Any]]] = []
+    if store is not None:
+        salt = result_cache.cache_salt()
+        spec = result_cache.runner_spec(runner)
+        dotted, runner_kwargs = result_cache.provenance(spec)
+        misses: list[SweepPoint] = []
+        for point in pending:
+            cfg_dict = asdict(base.with_(**{**point.overrides, "seed": point.seed}))
+            key = result_cache.point_key(cfg_dict, point.kwargs, spec, salt=salt)
+            hit = store.get(key)
+            if hit is not None:
+                cache_hit_records.append((point, hit))
+                continue
+            misses.append(point)
+            cache_keys[point.index] = key
+            cache_meta[point.index] = {
+                "context": "sweep",
+                "runner_spec": {"runner": dotted} if dotted else {},
+                "runner_kwargs": runner_kwargs,
+                "config": cfg_dict,
+                "kwargs": dict(point.kwargs),
+                "coords": sorted(point.coords),
+            }
+        health.cache_hits = len(cache_hit_records)
+        health.cache_misses = len(misses)
+        pending = misses
+
     start = time.monotonic()
     completed_in_run = 0
 
@@ -554,6 +602,13 @@ def run_sweep(
                 health.stalled += 1
         else:
             health.ok += 1
+            # Write-back on success only: failed/stalled/timed-out points
+            # must re-run next time, never replay.  Cache hits carry no
+            # pending key, so they naturally skip the write.
+            if store is not None:
+                key = cache_keys.pop(point.index, None)
+                if key is not None:
+                    store.put(key, record, cache_meta.pop(point.index, None))
         if journal is not None:
             append_jsonl(
                 {"index": point.index, "point": _jsonable(point.coords), "record": record},
@@ -580,6 +635,11 @@ def run_sweep(
             health.failed += 1
         else:
             health.ok += 1
+
+    # Replay cache hits through ``emit`` so the journal, progress callback,
+    # and health counters see them exactly like freshly computed points.
+    for point, record in cache_hit_records:
+        emit(point, record)
 
     try:
         if n_workers == 1:
@@ -615,4 +675,7 @@ def run_sweep(
         if journal is not None:
             append_jsonl({"health": asdict(health)}, journal)
         raise
+    finally:
+        if store is not None:
+            store.flush_stats()
     return SweepRecords((results[p.index] for p in points), health)

@@ -58,6 +58,7 @@ def sweep(
     point_timeout: float | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
     derive_seeds: bool = True,
+    cache=None,
 ) -> list[dict[str, Any]]:
     """Run ``runner`` over every configuration point; collect records.
 
@@ -71,7 +72,9 @@ def sweep(
     exception string under ``"error"`` while the rest of the sweep
     completes; see :func:`repro.core.parallel.run_sweep` for the executor
     knobs (``n_workers``, ``journal``/``resume``, ``point_timeout``,
-    ``progress``).
+    ``progress``).  ``cache`` points at a content-addressed result store
+    (:mod:`repro.core.cache`): previously computed points replay from disk
+    instead of re-simulating, bit-identically.
     """
     return run_sweep(
         base,
@@ -84,4 +87,5 @@ def sweep(
         point_timeout=point_timeout,
         progress=progress,
         derive_seeds=derive_seeds,
+        cache=cache,
     )

@@ -305,3 +305,132 @@ class TestParallelCliSmoke:
         assert "0.05" in proc.stdout and "0.2" in proc.stdout
         assert "latency" in proc.stdout
         assert "[2/2]" in proc.stderr  # progress reached completion
+
+
+class TestCacheCLI:
+    """The `repro cache` subcommand and the sweep `--cache` flag."""
+
+    SWEEP = [
+        "sweep", "--k", "4", "--rates", "0.05,0.2",
+        "--warmup", "50", "--measure", "100", "--drain", "500",
+    ]
+
+    def test_sweep_cache_warm_hits(self, capsys, tmp_path):
+        cdir = str(tmp_path / "cache")
+        assert main(self.SWEEP + ["--cache", cdir]) == 0
+        cold = capsys.readouterr()
+        assert "0/2 cache hits" in cold.err
+        assert main(self.SWEEP + ["--cache", cdir]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # identical table, replayed from disk
+        assert "2/2 cache hits" in warm.err
+
+    def test_sweep_cache_default_dir_from_env(self, capsys, tmp_path, monkeypatch):
+        cdir = tmp_path / "envcache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cdir))
+        assert main(self.SWEEP + ["--cache"]) == 0
+        assert (cdir / "store.jsonl").exists()
+
+    def test_stats_verify_gc_cycle(self, capsys, tmp_path):
+        cdir = str(tmp_path / "cache")
+        main(self.SWEEP + ["--cache", cdir])
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--dir", cdir]) == 0
+        out = capsys.readouterr().out
+        assert "entries  2" in out
+        assert "context  sweep: 2 entries" in out
+
+        assert main(["cache", "verify", "--dir", cdir, "--sample", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count(" ok") == 2
+        assert "0 mismatch(es)" in out
+
+        assert main(["cache", "gc", "--dir", cdir, "--max-bytes", "0"]) == 0
+        assert "dropped 2" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", cdir]) == 0
+        assert "entries  0" in capsys.readouterr().out
+
+    def test_verify_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "verify", "--dir", str(tmp_path / "c")]) == 0
+        assert "nothing to verify" in capsys.readouterr().out
+
+    def test_verify_detects_mismatch_exit_1(self, capsys, tmp_path):
+        from repro.core.cache import ResultCache
+
+        cdir = str(tmp_path / "cache")
+        main(self.SWEEP + ["--cache", cdir])
+        capsys.readouterr()
+        cache = ResultCache(cdir)
+        entry = dict(cache.entries()[0])
+        record = dict(entry["record"])
+        record["latency"] = -1.0
+        meta = {k: v for k, v in entry.items() if k not in ("key", "record")}
+        cache.put(entry["key"], record, meta)
+        assert main(["cache", "verify", "--dir", cdir, "--sample", "2"]) == 1
+        assert "mismatch" in capsys.readouterr().out
+
+    def test_gc_requires_max_bytes(self, capsys, tmp_path):
+        assert main(["cache", "gc", "--dir", str(tmp_path / "c")]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_no_cache_env_bypasses_cli(self, capsys, tmp_path, monkeypatch):
+        cdir = str(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert main(self.SWEEP + ["--cache", cdir]) == 0
+        err = capsys.readouterr().err
+        assert "cache hits" not in err
+        assert not (tmp_path / "cache" / "store.jsonl").exists()
+
+
+class TestBenchUpdateBaselines:
+    def _fake_scenarios(self, monkeypatch):
+        from repro.core import bench
+
+        fake = bench.BenchScenario(
+            "fake", "constant scenario", lambda quick: (1000, 0, {"fom": 1.0})
+        )
+        monkeypatch.setattr(bench, "SCENARIOS", {"fake": fake})
+        return bench
+
+    def test_update_baselines_writes_seed_baseline(self, tmp_path, monkeypatch):
+        import json
+
+        bench = self._fake_scenarios(monkeypatch)
+        rc = bench.run_bench(
+            quick=True, out_dir=tmp_path, repeats=1,
+            update_baselines=True, echo=lambda s: None,
+        )
+        assert rc == 0
+        data = json.loads((tmp_path / "seed_baseline.json").read_text())
+        assert "fake" in data["quick"]
+        assert data["quick"]["fake"] > 0
+        # a later plain run reads it back as the speedup_vs_seed reference
+        bench.run_bench(quick=True, out_dir=tmp_path, repeats=1, echo=lambda s: None)
+        record = json.loads((tmp_path / "BENCH_fake.quick.json").read_text())
+        assert record["seed_baseline_cps"] == data["quick"]["fake"]
+
+    def test_plain_run_leaves_baselines_alone(self, tmp_path, monkeypatch):
+        bench = self._fake_scenarios(monkeypatch)
+        bench.run_bench(quick=True, out_dir=tmp_path, repeats=1, echo=lambda s: None)
+        assert not (tmp_path / "seed_baseline.json").exists()
+
+    def test_update_preserves_other_modes_and_names(self, tmp_path, monkeypatch):
+        import json
+
+        bench = self._fake_scenarios(monkeypatch)
+        (tmp_path / "seed_baseline.json").write_text(
+            json.dumps({"full": {"other": 123.0}, "quick": {"legacy": 1.0}})
+        )
+        bench.run_bench(
+            quick=True, out_dir=tmp_path, repeats=1,
+            update_baselines=True, echo=lambda s: None,
+        )
+        data = json.loads((tmp_path / "seed_baseline.json").read_text())
+        assert data["full"] == {"other": 123.0}
+        assert data["quick"]["legacy"] == 1.0
+        assert "fake" in data["quick"]
+
+    def test_cli_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--quick", "--update-baselines"])
+        assert args.update_baselines is True

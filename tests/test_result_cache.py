@@ -1,0 +1,377 @@
+"""Tests for the content-addressed result cache (repro.core.cache).
+
+Covers the ISSUE 5 checklist: hit-after-warm equivalence against a cold
+run (sha256 record digests), invalidation on fingerprint change,
+corrupt-index tolerance (a truncated tail recovers, like the sweep
+journal), the ``REPRO_NO_CACHE=1`` bypass — plus the acceptance-criteria
+demonstration that a warm rerun of a representative latency-load grid is
+>= 10x faster than cold while bit-identical, recorded BENCH-style.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.__main__ import _openloop_runner
+from repro.analysis.io import read_jsonl, record_digest
+from repro.config import NetworkConfig
+from repro.core import cache as cache_mod
+from repro.core.cache import (
+    ResultCache,
+    cache_disabled,
+    cache_salt,
+    code_fingerprint,
+    fingerprint,
+    point_key,
+    provenance,
+    resolve_cache,
+    runner_spec,
+    verify_entries,
+)
+from repro.core.parallel import run_sweep
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks" / "perf"
+
+#: A small-but-real latency-load grid (fig01 shape): 4x4 mesh, three loads.
+GRID_CFG = NetworkConfig(k=4, n=2, seed=5)
+GRID_AXES = {"router_delay": (1, 2)}
+GRID_EXTRA = {"rate": (0.05, 0.1, 0.2)}
+GRID_RUNNER = functools.partial(_openloop_runner, warmup=100, measure=200, drain_limit=2000)
+
+
+def grid_sweep(cache=None, **kw):
+    return run_sweep(
+        GRID_CFG, GRID_AXES, GRID_RUNNER, extra_axes=GRID_EXTRA, cache=cache, **kw
+    )
+
+
+class TestFingerprints:
+    def test_code_fingerprint_covers_hot_paths(self):
+        digests = code_fingerprint()
+        assert "config.py" in digests
+        assert "rng.py" in digests
+        assert "core/engine.py" in digests
+        assert "network/router.py" in digests
+        # plotting/CLI wiring cannot change a record: deliberately unsalted
+        assert not any(p.startswith("analysis/") for p in digests)
+        assert "__main__.py" not in digests
+
+    def test_salt_is_stable_and_env_pinnable(self, monkeypatch):
+        assert cache_salt() == cache_salt()
+        monkeypatch.setenv("REPRO_CACHE_SALT", "pinned")
+        assert cache_salt() == "pinned"
+
+    def test_fingerprint_changes_with_payload_and_salt(self):
+        a = fingerprint({"x": 1}, salt="s")
+        assert a == fingerprint({"x": 1}, salt="s")
+        assert a != fingerprint({"x": 2}, salt="s")
+        assert a != fingerprint({"x": 1}, salt="t")
+
+    def test_fingerprint_is_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}, salt="s") == fingerprint(
+            {"b": 2, "a": 1}, salt="s"
+        )
+
+    def test_runner_spec_distinguishes_runners(self):
+        def f(cfg):
+            return {}
+
+        def g(cfg):
+            return {"other": 1}
+
+        assert runner_spec(f) != runner_spec(g)
+
+    def test_runner_spec_partial_and_provenance(self):
+        part = functools.partial(_openloop_runner, warmup=10, measure=20, drain_limit=30)
+        spec = runner_spec(part)
+        dotted, kwargs = provenance(spec)
+        assert dotted == "repro.__main__:_openloop_runner"
+        assert kwargs == {"warmup": 10, "measure": 20, "drain_limit": 30}
+        # outer partial bindings shadow inner ones, like partial.__call__
+        outer = functools.partial(part, warmup=99)
+        _, merged = provenance(runner_spec(outer))
+        assert merged["warmup"] == 99
+        # positional partial args are not reconstructible from keywords
+        assert provenance(runner_spec(functools.partial(_openloop_runner, 1))) == (None, {})
+
+    def test_point_key_varies_with_config_kwargs_runner(self):
+        spec = {"runner": "m:f"}
+        base = point_key({"k": 4}, {"rate": 0.1}, spec, salt="s")
+        assert base == point_key({"k": 4}, {"rate": 0.1}, spec, salt="s")
+        assert base != point_key({"k": 8}, {"rate": 0.1}, spec, salt="s")
+        assert base != point_key({"k": 4}, {"rate": 0.2}, spec, salt="s")
+        assert base != point_key({"k": 4}, {"rate": 0.1}, {"runner": "m:g"}, salt="s")
+
+
+class TestResultCacheStore:
+    def test_put_get_roundtrip_jsonable(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k1", {"latency": 1.5, "coords": (1, 2), "ok": True})
+        rec = cache.get("k1")
+        assert rec == {"latency": 1.5, "coords": [1, 2], "ok": True}
+        # reopened store sees the same entry (JSONL persisted)
+        rec2 = ResultCache(tmp_path / "c").get("k1")
+        assert rec2 == rec
+
+    def test_get_returns_private_copy(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k", {"nested": {"a": 1}})
+        cache.get("k")["nested"]["a"] = 99
+        assert cache.get("k")["nested"]["a"] == 1
+
+    def test_miss_and_hit_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("nope") is None
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.bytes_written > 0
+
+    def test_duplicate_key_newest_wins(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k", {"v": 1})
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+        assert len(cache) == 1
+        assert ResultCache(tmp_path / "c").get("k") == {"v": 2}
+
+    def test_corrupt_tail_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k1", {"v": 1})
+        cache.put("k2", {"v": 2})
+        store = cache.store_path
+        # simulate a crash mid-append: truncate the last line in half
+        text = store.read_text()
+        store.write_text(text + '{"key": "k3", "rec')
+        reopened = ResultCache(tmp_path / "c")
+        assert len(reopened) == 2
+        assert reopened.get("k1") == {"v": 1}
+        assert reopened.get("k2") == {"v": 2}
+        # and writes after recovery still parse cleanly
+        reopened.put("k4", {"v": 4})
+        assert len(ResultCache(tmp_path / "c")) == 3
+
+    def test_gc_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for i in range(10):
+            cache.put(f"k{i}", {"v": i, "pad": "x" * 50})
+        res = cache.gc(cache.total_bytes // 2)
+        assert res.kept + res.dropped == 10
+        assert 0 < res.kept < 10
+        assert res.bytes_after <= cache.total_bytes
+        # survivors are the newest entries
+        assert cache.get("k9") == {"v": 9, "pad": "x" * 50}
+        assert cache.get("k0") is None
+        assert len(ResultCache(tmp_path / "c")) == res.kept
+
+    def test_gc_zero_budget_empties(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k", {"v": 1})
+        res = cache.gc(0)
+        assert res.kept == 0 and res.dropped == 1
+        assert len(cache) == 0 and cache.total_bytes == 0
+
+    def test_gc_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "c").gc(-1)
+
+    def test_flush_stats_accumulates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.flush_stats()
+        cache.get("k")
+        cache.flush_stats()
+        totals = cache.cumulative_stats()
+        assert totals["hits"] == 2
+        assert totals["writes"] == 1
+        assert cache.stats.hits == 0  # counters reset after the fold
+
+    def test_corrupt_stats_tolerated(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        (tmp_path / "c" / "stats.json").write_text("{not json")
+        assert cache.cumulative_stats() == {}
+        cache.get("missing")
+        cache.flush_stats()
+        assert cache.cumulative_stats()["misses"] == 1
+
+    def test_resolve_cache(self, tmp_path, monkeypatch):
+        assert resolve_cache(None) is None
+        store = resolve_cache(tmp_path / "c")
+        assert isinstance(store, ResultCache)
+        assert resolve_cache(store) is store
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert cache_disabled()
+        assert resolve_cache(tmp_path / "c") is None
+
+
+class TestSweepIntegration:
+    def test_warm_equals_cold_sha256(self, tmp_path):
+        cdir = tmp_path / "cache"
+        cold = grid_sweep(cache=cdir)
+        warm = grid_sweep(cache=cdir)
+        # bit-identical including wall_seconds: hits replay the cold record
+        assert record_digest(list(cold)) == record_digest(list(warm))
+        assert cold.health.cache_hits == 0
+        assert cold.health.cache_misses == len(cold)
+        assert warm.health.cache_hits == len(warm)
+        assert warm.health.cache_misses == 0
+        assert "cache hits" in warm.health.summary()
+
+    def test_cache_off_matches_modulo_wall_seconds(self, tmp_path):
+        def strip(records):
+            return [{k: v for k, v in r.items() if k != "wall_seconds"} for r in records]
+
+        cold = grid_sweep(cache=tmp_path / "cache")
+        warm = grid_sweep(cache=tmp_path / "cache")
+        off = grid_sweep(cache=None)
+        assert record_digest(strip(cold)) == record_digest(strip(off))
+        assert record_digest(strip(warm)) == record_digest(strip(off))
+
+    def test_no_cache_env_bypasses(self, tmp_path, monkeypatch):
+        cdir = tmp_path / "cache"
+        grid_sweep(cache=cdir)
+        store_size = ResultCache(cdir).total_bytes
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        rec = grid_sweep(cache=cdir)
+        assert rec.health.cache_hits == 0 and rec.health.cache_misses == 0
+        assert ResultCache(cdir).total_bytes == store_size  # no writes either
+
+    def test_salt_change_invalidates(self, tmp_path, monkeypatch):
+        cdir = tmp_path / "cache"
+        grid_sweep(cache=cdir)
+        monkeypatch.setenv("REPRO_CACHE_SALT", "a-different-code-version")
+        warm = grid_sweep(cache=cdir)
+        assert warm.health.cache_hits == 0
+        assert warm.health.cache_misses == len(warm)
+
+    def test_failed_points_never_cached(self, tmp_path):
+        def runner(cfg, *, rate):
+            if rate > 0.1:
+                raise RuntimeError("boom")
+            return {"latency": 1.0}
+
+        cdir = tmp_path / "cache"
+        kw = dict(extra_axes={"rate": (0.05, 0.2)}, cache=cdir)
+        first = run_sweep(GRID_CFG, {}, runner, **kw)
+        assert first.health.failed == 1
+        second = run_sweep(GRID_CFG, {}, runner, **kw)
+        # the good point hits; the failed one re-runs (and fails again)
+        assert second.health.cache_hits == 1
+        assert second.health.cache_misses == 1
+        assert second.health.failed == 1
+        entries = ResultCache(cdir).entries()
+        assert len(entries) == 1
+        assert not entries[0]["record"].get("failed")
+
+    def test_journal_sees_cache_hits(self, tmp_path):
+        cdir = tmp_path / "cache"
+        journal = tmp_path / "sweep.jsonl"
+        grid_sweep(cache=cdir)
+        warm = grid_sweep(cache=cdir, journal=str(journal))
+        entries = [e for e in read_jsonl(journal) if "record" in e]
+        assert len(entries) == len(warm)
+        by_index = {e["index"]: e["record"] for e in entries}
+        assert record_digest([by_index[i] for i in sorted(by_index)]) == record_digest(
+            list(warm)
+        )
+
+    def test_pool_mode_shares_cache(self, tmp_path):
+        cdir = tmp_path / "cache"
+        cold = grid_sweep(cache=cdir, n_workers=2)
+        warm = grid_sweep(cache=cdir)  # serial warm run against pool-built cache
+        assert record_digest(list(cold)) == record_digest(list(warm))
+        assert warm.health.cache_hits == len(warm)
+
+    def test_entries_carry_provenance(self, tmp_path):
+        cdir = tmp_path / "cache"
+        grid_sweep(cache=cdir)
+        entry = ResultCache(cdir).entries()[0]
+        assert entry["context"] == "sweep"
+        assert entry["runner_spec"]["runner"] == "repro.__main__:_openloop_runner"
+        assert entry["runner_kwargs"] == {"warmup": 100, "measure": 200, "drain_limit": 2000}
+        assert entry["config"]["k"] == 4
+        assert set(entry["coords"]) == {"router_delay", "rate"}
+
+
+class TestVerify:
+    def test_verify_ok_on_real_entries(self, tmp_path):
+        cdir = tmp_path / "cache"
+        grid_sweep(cache=cdir)
+        cache = ResultCache(cdir)
+        results = verify_entries(cache, sample=2, seed=0)
+        assert len(results) == 2
+        assert all(r.status == "ok" for r in results)
+
+    def test_verify_sampling_is_deterministic(self, tmp_path):
+        cdir = tmp_path / "cache"
+        grid_sweep(cache=cdir)
+        cache = ResultCache(cdir)
+        a = [r.key for r in verify_entries(cache, sample=3, seed=7)]
+        b = [r.key for r in verify_entries(cache, sample=3, seed=7)]
+        assert a == b
+
+    def test_verify_detects_tampering(self, tmp_path):
+        cdir = tmp_path / "cache"
+        grid_sweep(cache=cdir)
+        cache = ResultCache(cdir)
+        entry = dict(cache.entries()[0])
+        record = dict(entry["record"])
+        record["latency"] = record["latency"] + 1.0
+        cache.put(entry["key"], record, {k: v for k, v in entry.items() if k not in ("key", "record")})
+        results = verify_entries(ResultCache(cdir), sample=len(cache), seed=0)
+        statuses = {r.key: r.status for r in results}
+        assert statuses[entry["key"]] == "mismatch"
+        assert sum(1 for s in statuses.values() if s == "mismatch") == 1
+
+    def test_verify_skips_unverifiable_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k", {"v": 1}, {"context": "benchmarks.characterizations"})
+        (res,) = verify_entries(cache, sample=1)
+        assert res.status == "skipped"
+
+    def test_verify_sample_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            verify_entries(ResultCache(tmp_path / "c"), sample=0)
+
+    def test_verify_empty_cache(self, tmp_path):
+        assert verify_entries(ResultCache(tmp_path / "c")) == []
+
+
+class TestWarmSpeedupAcceptance:
+    """ISSUE 5 acceptance: warm >= 10x cold on a fig01-style grid, recorded
+    BENCH-style so the claim is auditable like every other perf number."""
+
+    def test_warm_rerun_10x_and_bench_record(self, tmp_path):
+        cdir = tmp_path / "cache"
+        t0 = time.perf_counter()
+        cold = grid_sweep(cache=cdir)
+        cold_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = grid_sweep(cache=cdir)
+        warm_wall = time.perf_counter() - t0
+        identical = record_digest(list(cold)) == record_digest(list(warm))
+        speedup = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+        record = {
+            "name": "cache_warm_sweep",
+            "description": "fig01-style latency-load grid (4x4 mesh, "
+            "2 router delays x 3 loads), cold vs warm result cache",
+            "points": len(cold),
+            "cold_wall_s": cold_wall,
+            "warm_wall_s": warm_wall,
+            "speedup_warm_vs_cold": speedup,
+            "byte_identical_records": identical,
+        }
+        BENCH_DIR.mkdir(parents=True, exist_ok=True)
+        with open(BENCH_DIR / "BENCH_cache_warm_sweep.json", "w") as f:
+            json.dump(record, f, indent=1, sort_keys=True)
+            f.write("\n")
+        assert identical
+        assert speedup >= 10.0, f"warm rerun only {speedup:.1f}x faster than cold"
