@@ -106,6 +106,14 @@ def _add_network_args(p: argparse.ArgumentParser) -> None:
         ),
     )
     p.add_argument("--packet-size", default="single", choices=("single", "bimodal"))
+    p.add_argument(
+        "--backend",
+        default="object",
+        choices=("object", "vectorized"),
+        help="network implementation: per-flit Python objects (reference) or "
+        "the struct-of-arrays numpy backend (bit-identical, much faster at "
+        "scale; rejects faulted or credit_delay=0 configs)",
+    )
     p.add_argument("--seed", type=int, default=1)
     p.add_argument(
         "--faults",
@@ -130,6 +138,7 @@ def _network_config(args: argparse.Namespace) -> NetworkConfig:
         arbitration=args.arbitration,
         traffic=args.traffic,
         packet_size=args.packet_size,
+        backend=getattr(args, "backend", "object"),
         seed=args.seed,
         faults=getattr(args, "faults", None),
     )
@@ -370,8 +379,17 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .core.bench import run_bench
+    from .core.bench import run_backend_compare, run_bench
 
+    if args.backends:
+        # One leg per backend: the runs are minutes-long at full scale and
+        # deterministic, so best-of-N buys little for the speedup ratio.
+        return run_backend_compare(
+            quick=args.quick,
+            out_dir=args.out,
+            check=args.check,
+            min_speedup=args.min_backend_speedup,
+        )
     return run_bench(
         quick=args.quick,
         only=args.only or None,
@@ -585,6 +603,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="refresh seed_baseline.json from this run's cycles/sec (run on "
         "the reference host, then commit the regenerated records)",
+    )
+    p.add_argument(
+        "--backends",
+        action="store_true",
+        help="instead of the scenario suite, time the object vs vectorized "
+        "backends on the saturation scenario, assert bit-identical records, "
+        "and write BENCH_vectorized_saturation.json",
+    )
+    p.add_argument(
+        "--min-backend-speedup",
+        type=float,
+        default=3.0,
+        metavar="RATIO",
+        help="--backends --check fails below this vectorized speedup "
+        "(default 3.0)",
     )
     p.set_defaults(func=_cmd_bench)
 

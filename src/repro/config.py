@@ -100,6 +100,12 @@ class NetworkConfig:
     bimodal_long_size: int = 4
     traffic: str = "uniform_random"
     credit_delay: int = 1
+    #: network implementation: "object" (per-flit Python objects, the
+    #: reference cycle-level model) or "vectorized" (struct-of-arrays numpy
+    #: backend, bit-identical on every supported configuration — see
+    #: DESIGN.md "Vectorized backend").  The backend is part of the result
+    #: cache fingerprint, so cached records never cross backends.
+    backend: str = "object"
     #: VC-class discipline for DOR on wrapped topologies: "balanced"
     #: (default; both classes carry traffic) or "strict" (textbook
     #: dateline; kept for the ablation study).
@@ -124,6 +130,10 @@ class NetworkConfig:
             raise ValueError(f"unknown packet_size {self.packet_size!r}; pick from {_SIZES}")
         if self.dateline not in ("balanced", "strict"):
             raise ValueError(f"unknown dateline {self.dateline!r}")
+        if self.backend not in ("object", "vectorized"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; pick from ('object', 'vectorized')"
+            )
         if self.k < 2:
             raise ValueError("k must be >= 2")
         if self.n < 1:

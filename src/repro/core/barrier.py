@@ -21,7 +21,7 @@ import numpy as np
 
 from .. import rng as rng_mod
 from ..config import NetworkConfig
-from ..network.network import Network
+from ..network.factory import build_network
 from ..traffic.patterns import TrafficPattern
 from ..traffic.registry import build_pattern, build_sizes
 from ..traffic.sizes import SizeDistribution
@@ -127,7 +127,7 @@ class BarrierSimulator:
         """Run all rounds to completion (or ``max_cycles``)."""
         cfg = self.config
         seed = cfg.seed if seed is None else seed
-        net = Network(cfg)
+        net = build_network(cfg)
         n = net.num_nodes
         gen = rng_mod.make_generator(seed, "barrier", self.batch_size)
         injector = _BurstInjector(

@@ -27,6 +27,7 @@ hot path relative to the dense loop.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import resource
@@ -36,12 +37,19 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from ..config import NetworkConfig
-from ..network.network import Network
+from ..network.base import NetworkLike
+from ..network.factory import build_network
 from .closedloop import BatchSimulator
 from .openloop import OpenLoopSimulator
 from .resilience import Watchdog
 
-__all__ = ["BenchScenario", "SCENARIOS", "run_bench", "bench_paths"]
+__all__ = [
+    "BenchScenario",
+    "SCENARIOS",
+    "run_bench",
+    "bench_paths",
+    "run_backend_compare",
+]
 
 #: canonical mesh for the open-loop scenarios (the paper's workhorse)
 _MESH = dict(k=8, n=2, seed=7)
@@ -60,6 +68,9 @@ class BenchScenario:
     name: str
     description: str
     run: Callable[[bool], tuple[int, int, dict]]
+    #: network backend the scenario exercises; a seed baseline or committed
+    #: BENCH record carrying a different backend never gates this scenario.
+    backend: str = "object"
 
 
 def _openloop(
@@ -73,14 +84,14 @@ def _openloop(
 ) -> tuple[int, int, dict]:
     scale = 4 if quick else 1
     cfg = NetworkConfig(faults=faults, **_MESH)
-    nets: list[Network] = []
+    nets: list[NetworkLike] = []
     sim = OpenLoopSimulator(
         cfg,
         warmup=warmup // scale,
         measure=measure // scale,
         drain_limit=30000 // scale,
         watchdog=Watchdog(window=watchdog_window) if watchdog_window else None,
-        network_factory=lambda c: nets.append(Network(c)) or nets[-1],
+        network_factory=lambda c: nets.append(build_network(c)) or nets[-1],
     )
     res = sim.run(rate)
     net = nets[-1]
@@ -97,13 +108,13 @@ def _openloop(
 
 
 def _batch(quick: bool, *, nar: float = 1.0, max_outstanding: int = 4) -> tuple[int, int, dict]:
-    nets: list[Network] = []
+    nets: list[NetworkLike] = []
     sim = BatchSimulator(
         NetworkConfig(**_MESH),
         batch_size=30 if quick else 100,
         max_outstanding=max_outstanding,
         nar=nar,
-        network_factory=lambda c: nets.append(Network(c)) or nets[-1],
+        network_factory=lambda c: nets.append(build_network(c)) or nets[-1],
     )
     res = sim.run()
     net = nets[-1]
@@ -130,11 +141,11 @@ def _trace(quick: bool) -> tuple[int, int, dict]:
         base = burst * (span // 8)
         for i in range(5):
             records.append(TraceRecord(base + 3 * i, (7 * burst + i) % 64, (11 * burst + 5 * i) % 64, 4))
-    nets: list[Network] = []
+    nets: list[NetworkLike] = []
     sim = TraceDrivenSimulator(
         NetworkConfig(**_MESH),
         Trace(records, num_nodes=64),
-        network_factory=lambda c: nets.append(Network(c)) or nets[-1],
+        network_factory=lambda c: nets.append(build_network(c)) or nets[-1],
     )
     res = sim.run()
     net = nets[-1]
@@ -257,6 +268,21 @@ def _load_seed_baseline(out_dir: Path) -> dict:
         return json.load(f)
 
 
+def _seed_entry(raw) -> tuple[Optional[float], str]:
+    """(cycles/sec, backend) of one seed-baseline entry.
+
+    Entries are ``{"cps": float, "backend": str}``; a bare float (the
+    pre-backend format) reads as an object-backend measurement, since that
+    was the only backend when those baselines were recorded.
+    """
+    if raw is None:
+        return None, "object"
+    if isinstance(raw, dict):
+        cps = raw.get("cps")
+        return (float(cps) if cps else None), str(raw.get("backend", "object"))
+    return float(raw), "object"
+
+
 def run_bench(
     *,
     quick: bool = False,
@@ -302,6 +328,10 @@ def run_bench(
         if check and path.exists():
             with open(path) as f:
                 committed = json.load(f)
+            # A record produced under a different backend never gates this
+            # scenario — the comparison would be meaningless.
+            if committed.get("backend", "object") != scenario.backend:
+                committed = None
         fast = _timed(scenario, quick, repeats)
         dense = _timed_dense(scenario, quick, repeats)
         if fast["cycles"] != dense["cycles"] or fast["fingerprint"] != dense["fingerprint"]:
@@ -311,11 +341,14 @@ def run_bench(
                 f"fingerprint {fast['fingerprint']} vs {dense['fingerprint']})"
             )
         speedup_vs_dense = fast["cycles_per_sec"] / dense["cycles_per_sec"]
-        seed_cps = seed_baseline.get(name)
+        seed_cps, seed_backend = _seed_entry(seed_baseline.get(name))
+        if seed_backend != scenario.backend:
+            seed_cps = None  # a baseline from another backend never applies
         record = {
             "name": name,
             "mode": mode,
             "description": scenario.description,
+            "backend": scenario.backend,
             "cycles": fast["cycles"],
             "wall_time_s": fast["wall_time_s"],
             "cycles_per_sec": fast["cycles_per_sec"],
@@ -354,7 +387,13 @@ def run_bench(
             f.write("\n")
     if update_baselines:
         updated = dict(all_baselines)
-        updated[mode] = {**updated.get(mode, {}), **fresh_cps}
+        updated[mode] = {
+            **updated.get(mode, {}),
+            **{
+                name: {"cps": cps, "backend": SCENARIOS[name].backend}
+                for name, cps in fresh_cps.items()
+            },
+        }
         with open(out_dir / "seed_baseline.json", "w") as f:
             json.dump(updated, f, indent=1, sort_keys=True)
             f.write("\n")
@@ -366,5 +405,138 @@ def run_bench(
         echo("PERF REGRESSION:")
         for msg in failures:
             echo("  " + msg)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# backend comparison (``repro bench --backends``)
+# ---------------------------------------------------------------------------
+
+#: saturated open-loop scenario used to compare the object and vectorized
+#: backends.  Saturation is where fast-forward never engages, so the ratio
+#: is a pure measure of the struct-of-arrays pipeline.  Full mode is the
+#: acceptance configuration recorded in BENCH_vectorized_saturation.json
+#: (a 14x14x14 mesh, 2744 nodes); quick mode is a 16x16 mesh smoke small
+#: enough for CI.  Both use 8-flit packets so per-packet driver overhead —
+#: identical across backends — does not dilute the per-flit speedup.
+BACKEND_COMPARE_SCENARIO = {
+    "full": dict(k=14, n=3),
+    "quick": dict(k=8, n=3),
+}
+_BACKEND_COMPARE_KW = dict(
+    topology="mesh",
+    num_vcs=4,
+    vc_buffer_size=8,
+    packet_size="bimodal",
+    bimodal_long_fraction=1.0,
+    bimodal_long_size=8,
+    seed=7,
+)
+_BACKEND_COMPARE_RATE = 0.6
+_BACKEND_COMPARE_WINDOWS = dict(warmup=100, measure=200, drain_limit=300)
+
+
+def _backend_leg(cfg: NetworkConfig) -> tuple[int, dict]:
+    """Run the comparison scenario once; (cycles, figures-of-merit)."""
+    nets: list[NetworkLike] = []
+    sim = OpenLoopSimulator(
+        cfg,
+        network_factory=lambda c: nets.append(build_network(c)) or nets[-1],
+        **_BACKEND_COMPARE_WINDOWS,
+    )
+    res = sim.run(_BACKEND_COMPARE_RATE)
+    # Digesting every measured per-packet latency makes "identical figures
+    # of merit" a bit-exact record equality check, not a summary match.
+    digest = hashlib.sha256(
+        json.dumps(res.latencies.tolist()).encode("utf-8")
+    ).hexdigest()
+    return nets[-1].now, {
+        "avg_latency": res.avg_latency,
+        "throughput": res.throughput,
+        "num_measured": res.num_measured,
+        "saturated": res.saturated,
+        "latency_digest": digest,
+    }
+
+
+def run_backend_compare(
+    *,
+    quick: bool = False,
+    out_dir="benchmarks/perf",
+    check: bool = False,
+    min_speedup: float = 3.0,
+    repeats: int = 1,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Time both backends on the saturation scenario; returns an exit code.
+
+    Runs the object and vectorized backends on the same saturated
+    configuration, asserts their records are bit-identical (the equivalence
+    contract, enforced on every bench run), and writes
+    ``BENCH_vectorized_saturation[.quick].json`` with both timings and the
+    speedup.  With ``check=True`` the run fails when the vectorized backend
+    is less than ``min_speedup`` times faster than the object backend —
+    the CI gate that surfaces vectorized-path regressions in PRs.
+    """
+    mode = "quick" if quick else "full"
+    kw = {**_BACKEND_COMPARE_KW, **BACKEND_COMPARE_SCENARIO[mode]}
+    legs: dict[str, dict] = {}
+    echo(f"repro bench --backends [{mode}]: object vs vectorized")
+    for backend in ("object", "vectorized"):
+        cfg = NetworkConfig(backend=backend, **kw)
+        wall = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            cycles, fingerprint = _backend_leg(cfg)
+            wall = min(wall, time.perf_counter() - t0)
+        legs[backend] = {
+            "cycles": cycles,
+            "wall_time_s": wall,
+            "cycles_per_sec": cycles / wall if wall > 0 else float("inf"),
+            "fingerprint": fingerprint,
+        }
+        echo(
+            f"  {backend}: {cycles} cycles in {wall:.3f}s "
+            f"({legs[backend]['cycles_per_sec']:,.0f} c/s)"
+        )
+    obj, vec = legs["object"], legs["vectorized"]
+    if obj["cycles"] != vec["cycles"] or obj["fingerprint"] != vec["fingerprint"]:
+        raise AssertionError(
+            "vectorized backend diverged from the object backend "
+            f"(cycles {vec['cycles']} vs {obj['cycles']}, fingerprint "
+            f"{vec['fingerprint']} vs {obj['fingerprint']})"
+        )
+    speedup = obj["wall_time_s"] / vec["wall_time_s"]
+    echo(f"  speedup: {speedup:.2f}x (records bit-identical)")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suffix = ".quick.json" if quick else ".json"
+    record = {
+        "name": "vectorized_saturation",
+        "mode": mode,
+        "description": (
+            f"{kw['k']}^{kw['n']} mesh, open-loop at "
+            f"{_BACKEND_COMPARE_RATE} flits/cycle/node (saturated, 8-flit "
+            "packets), object vs vectorized backend"
+        ),
+        "config": kw,
+        "rate": _BACKEND_COMPARE_RATE,
+        "windows": _BACKEND_COMPARE_WINDOWS,
+        "object": {k: v for k, v in obj.items() if k != "fingerprint"},
+        "vectorized": {k: v for k, v in vec.items() if k != "fingerprint"},
+        "fingerprint": obj["fingerprint"],
+        "speedup": speedup,
+        "min_speedup": min_speedup if check else None,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    with open(out_dir / f"BENCH_vectorized_saturation{suffix}", "w") as f:
+        json.dump(record, f, indent=1, sort_keys=True)
+        f.write("\n")
+    if check and speedup < min_speedup:
+        echo(
+            f"PERF REGRESSION: vectorized speedup {speedup:.2f}x fell below "
+            f"the {min_speedup:.1f}x gate"
+        )
         return 1
     return 0

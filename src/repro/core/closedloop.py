@@ -30,7 +30,7 @@ import numpy as np
 from .. import rng as rng_mod
 from ..config import NetworkConfig
 from ..network.links import TimeBuckets
-from ..network.network import Network
+from ..network.factory import build_network
 from ..traffic.patterns import TrafficPattern
 from ..traffic.registry import build_pattern, build_sizes
 from ..traffic.sizes import SizeDistribution
@@ -316,7 +316,7 @@ class BatchSimulator:
         sizes: Optional[SizeDistribution] = None,
         reply_sizes: Optional[SizeDistribution] = None,
         max_cycles: Optional[int] = None,
-        network_factory=Network,
+        network_factory=build_network,
         probes: Optional[ProbeSet] = None,
         watchdog=None,
         check_invariants: Optional[bool] = None,

@@ -24,7 +24,7 @@ import numpy as np
 
 from .. import rng as rng_mod
 from ..config import NetworkConfig
-from ..network.network import Network
+from ..network.factory import build_network
 from ..traffic.patterns import TrafficPattern
 from ..traffic.process import Bernoulli
 from ..traffic.registry import build_pattern, build_sizes
@@ -177,7 +177,7 @@ class OpenLoopSimulator:
         probes: Optional[ProbeSet] = None,
         watchdog=None,
         check_invariants: Optional[bool] = None,
-        network_factory=Network,
+        network_factory=build_network,
     ):
         self.config = config
         self.pattern = pattern if pattern is not None else build_pattern(config)

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..config import NetworkConfig
+from ..network.factory import build_network
 from ..network.network import Network
 from .closedloop import BatchSimulator
 from .engine import SimulationEngine
@@ -255,7 +256,7 @@ class TraceDrivenSimulator:
         trace: Trace,
         *,
         probes: Optional[ProbeSet] = None,
-        network_factory=Network,
+        network_factory=build_network,
     ):
         if trace.num_nodes != config.num_nodes:
             raise ValueError(

@@ -29,7 +29,7 @@ from ..core.engine import SimulationEngine
 from ..core.probes import ProbeSet
 from ..network.ideal import IdealNetwork
 from ..network.links import TimeBuckets
-from ..network.network import Network
+from ..network.factory import build_network
 from .address import AddressSpace
 from .benchmarks import KERNEL, USER, BenchmarkSpec
 from .core import InOrderCore
@@ -151,7 +151,7 @@ class CmpSystem:
         if ideal:
             self.network = IdealNetwork(n)
         else:
-            self.network = Network(cfg.network)
+            self.network = build_network(cfg.network)
         self.space = AddressSpace(
             n,
             mid_lines=benchmark.mid_lines,

@@ -2,12 +2,14 @@
 
 from .arbiters import AgeArbiter, Arbiter, RoundRobinArbiter, build_arbiter
 from .base import BaseNetwork, NetworkLike
+from .factory import NETWORK_BACKENDS, build_network
 from .ideal import IdealNetwork
 from .links import TimeBuckets
 from .network import Network
 from .packet import Packet
 from .router import Router
 from .vc import InputVC
+from .vectorized import VectorizedNetwork
 
 __all__ = [
     "Packet",
@@ -21,5 +23,8 @@ __all__ = [
     "BaseNetwork",
     "NetworkLike",
     "Network",
+    "VectorizedNetwork",
     "IdealNetwork",
+    "build_network",
+    "NETWORK_BACKENDS",
 ]

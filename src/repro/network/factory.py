@@ -1,0 +1,106 @@
+"""Backend selection: config -> concrete network instance.
+
+``NetworkConfig.backend`` picks the implementation behind the shared
+:class:`~repro.network.base.NetworkLike` protocol:
+
+* ``"object"`` — :class:`~repro.network.network.Network`, the per-flit
+  Python-object reference model (supports every feature, incl. faults).
+* ``"vectorized"`` — :class:`~repro.network.vectorized.VectorizedNetwork`,
+  the struct-of-arrays numpy model, bit-identical on every configuration it
+  accepts (see DESIGN.md "Vectorized backend").
+
+Every driver builds its network through :func:`build_network` so the flag
+works uniformly across open-loop, closed-loop, barrier, trace-driven and
+execution-driven simulations.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..config import NetworkConfig
+from .network import Network
+
+__all__ = [
+    "build_network",
+    "NETWORK_BACKENDS",
+    "FAST_PROFILES",
+    "is_fast_profile",
+    "vectorized_supports",
+]
+
+NETWORK_BACKENDS = ("object", "vectorized")
+
+#: Configurations where the vectorized backend is a *fast profile* — close
+#: but not bit-exact — each entry a dict of NetworkConfig fields that marks
+#: the profile (a config matches when every listed field compares equal).
+#: The differential harness checks members statistically (latency and
+#: throughput within tolerance, per-node correlation r >= 0.97) instead of
+#: exactly, mirroring the paper's fast-vs-accurate methodology.
+#:
+#: Currently EMPTY by construction: every configuration the vectorized
+#: backend accepts — including adaptive (MA) and oblivious (VAL/ROMM)
+#: routing, whose tie-breaks replay the object backend's enumeration order
+#: — is bit-exact, and unsupported configs (fault plans, credit_delay=0)
+#: are rejected at construction rather than approximated.  The registry and
+#: the statistical checker stay wired so a future profile only needs an
+#: entry here.
+FAST_PROFILES: tuple[dict, ...] = ()
+
+
+def is_fast_profile(config: NetworkConfig) -> bool:
+    """True when ``config`` matches a registered fast profile (see above)."""
+    return any(
+        all(getattr(config, field, None) == value for field, value in profile.items())
+        for profile in FAST_PROFILES
+    )
+
+
+def vectorized_supports(config: NetworkConfig) -> bool:
+    """True when ``config`` is inside the vectorized backend's exact
+    envelope (mirrors :class:`VectorizedNetwork`'s constructor checks)."""
+    return (
+        config.topology in ("mesh", "torus", "ring")
+        and config.faults is None
+        and config.credit_delay >= 1
+    )
+
+
+def build_network(config: NetworkConfig, **kwargs):
+    """Instantiate the network backend selected by ``config.backend``.
+
+    ``kwargs`` (``topology=``, ``routing=``, ``faults=`` overrides) are
+    accepted by the object backend only; the ideal topology is rejected
+    here exactly as :class:`Network` rejects it — callers that want the
+    contention-free fabric construct :class:`IdealNetwork` explicitly.
+
+    ``REPRO_DEFAULT_BACKEND=vectorized`` upgrades default-backend configs
+    inside the vectorized envelope (:func:`vectorized_supports`) to the
+    vectorized backend.  Because accepted configs are bit-exact, results
+    are unchanged; CI uses this to run the whole quick suite as one large
+    backend-equivalence check.  An explicit ``backend=`` always wins, and
+    unsupported configs (faults, ``credit_delay=0``, ideal) silently stay
+    on the object backend.
+    """
+    backend = getattr(config, "backend", "object")
+    if (
+        backend == "object"
+        and not kwargs
+        and os.environ.get("REPRO_DEFAULT_BACKEND") == "vectorized"
+        and vectorized_supports(config)
+    ):
+        backend = "vectorized"
+    if backend == "object":
+        return Network(config, **kwargs)
+    if backend == "vectorized":
+        if kwargs:
+            raise TypeError(
+                "the vectorized backend takes no construction overrides; "
+                f"got {sorted(kwargs)}"
+            )
+        from .vectorized import VectorizedNetwork
+
+        return VectorizedNetwork(config)
+    raise ValueError(
+        f"unknown network backend {backend!r}; pick from {NETWORK_BACKENDS}"
+    )

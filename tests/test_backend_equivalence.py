@@ -1,0 +1,339 @@
+"""Differential equivalence harness: object vs vectorized backend.
+
+The vectorized backend's contract (DESIGN.md "Vectorized backend") is that
+every configuration it accepts produces records *bit-identical* to the
+object backend's — not statistically close, identical.  This suite enforces
+the contract property-style: randomized configurations drawn with stdlib
+``random`` from the full supported space (topology x routing x arbitration
+x VC count x buffer depth x traffic x load x seed), both backends run on
+each, and the full record — every per-packet latency included — compared
+for equality.  The generator is seeded, so a failure is reproducible; on
+mismatch the harness greedily shrinks the config toward the simplest one
+that still fails and reports it, which is what you paste into a repro.
+
+Configurations registered as *fast profiles* (``repro.network.factory.
+FAST_PROFILES`` — currently empty by construction) are instead checked
+statistically: latency/throughput within tolerance and per-node latency
+correlation r >= 0.97, mirroring the paper's fast-vs-accurate methodology.
+The statistical checker itself is exercised here so a future profile entry
+lands on tested machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig
+from repro.core.closedloop import BatchSimulator
+from repro.core.openloop import OpenLoopSimulator
+from repro.network.factory import (
+    FAST_PROFILES,
+    NETWORK_BACKENDS,
+    build_network,
+    is_fast_profile,
+)
+
+# ---------------------------------------------------------------------------
+# record extraction
+# ---------------------------------------------------------------------------
+
+_WINDOWS = dict(warmup=40, measure=80, drain_limit=200)
+
+
+def openloop_record(cfg: NetworkConfig, rate: float) -> dict:
+    """JSON-native figures of merit, strong enough to detect any drift."""
+    res = OpenLoopSimulator(cfg, **_WINDOWS).run(rate)
+    return {
+        "avg_latency": res.avg_latency,
+        "worst_node_latency": res.worst_node_latency,
+        "throughput": res.throughput,
+        "avg_hops": res.avg_hops,
+        "saturated": res.saturated,
+        "num_measured": res.num_measured,
+        "latencies": res.latencies.tolist(),
+        "per_node": [
+            None if math.isnan(x) else x for x in res.per_node_latency.tolist()
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# randomized config generator + shrinker
+# ---------------------------------------------------------------------------
+
+_BIT_PATTERNS = ("bit_reversal", "bit_complement", "transpose")
+
+
+def draw_config(rng: random.Random) -> tuple[dict, float]:
+    """One random supported configuration and an offered load for it."""
+    topology = rng.choice(("mesh", "mesh", "torus", "ring"))
+    routing = (
+        rng.choice(("dor", "dor", "val", "ma", "romm"))
+        if topology == "mesh"
+        else "dor"
+    )
+    k = rng.choice((3, 4))
+    # bit patterns need a power-of-two node count, transpose a square one:
+    # k=4, n=2 (16 nodes) satisfies both.
+    traffic = rng.choice(
+        ("uniform_random", "uniform_random", "neighbor", "tornado") + _BIT_PATTERNS
+    )
+    if traffic in _BIT_PATTERNS and k != 4:
+        traffic = "uniform_random"
+    kw = dict(
+        topology=topology,
+        k=k,
+        n=2,
+        num_vcs=rng.choice((2, 3, 4)),
+        vc_buffer_size=rng.choice((1, 2, 4)),
+        router_delay=rng.choice((1, 1, 2)),
+        routing=routing,
+        arbitration=rng.choice(("round_robin", "age")),
+        link_delay=rng.choice((1, 1, 2)),
+        packet_size=rng.choice(("single", "bimodal")),
+        traffic=traffic,
+        dateline=(
+            rng.choice(("balanced", "strict"))
+            if topology in ("torus", "ring")
+            else "balanced"
+        ),
+        seed=rng.randrange(1, 100_000),
+    )
+    return kw, rng.choice((0.05, 0.15, 0.30, 0.50))
+
+
+#: simplest value per field, the shrink targets (tried in this order)
+_SHRINK = {
+    "topology": "mesh",
+    "routing": "dor",
+    "traffic": "uniform_random",
+    "packet_size": "single",
+    "arbitration": "round_robin",
+    "dateline": "balanced",
+    "router_delay": 1,
+    "link_delay": 1,
+    "num_vcs": 2,
+    "vc_buffer_size": 1,
+    "k": 3,
+}
+
+
+def _mismatch(kw: dict, rate: float) -> bool:
+    """True when the two backends disagree on this config (or it's invalid
+    in a way only one backend surfaces — also a contract violation)."""
+    try:
+        obj = openloop_record(NetworkConfig(backend="object", **kw), rate)
+        vec = openloop_record(NetworkConfig(backend="vectorized", **kw), rate)
+    except ValueError:
+        return False  # invalid config: rejected identically upstream
+    return obj != vec
+
+
+def shrink(kw: dict, rate: float) -> dict:
+    """Greedily simplify a failing config while it keeps failing."""
+    changed = True
+    while changed:
+        changed = False
+        for field, simple in _SHRINK.items():
+            if kw[field] == simple:
+                continue
+            trial = {**kw, field: simple}
+            if _mismatch(trial, rate):
+                kw = trial
+                changed = True
+    return kw
+
+
+def run_differential(master_seed: int, count: int) -> None:
+    rng = random.Random(master_seed)
+    for i in range(count):
+        kw, rate = draw_config(rng)
+        cfg_o = NetworkConfig(backend="object", **kw)
+        if is_fast_profile(cfg_o):
+            continue  # checked statistically in TestFastProfiles
+        obj = openloop_record(cfg_o, rate)
+        vec = openloop_record(NetworkConfig(backend="vectorized", **kw), rate)
+        if obj != vec:
+            minimal = shrink(dict(kw), rate)
+            pytest.fail(
+                f"backends diverged on config #{i} (master_seed={master_seed});"
+                f" shrunk repro: NetworkConfig(**{minimal!r}) at rate {rate}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# the differential property suite
+# ---------------------------------------------------------------------------
+
+
+class TestRandomizedEquivalence:
+    def test_quick_sample(self):
+        """Tier-1 smoke: a couple dozen randomized configs."""
+        run_differential(master_seed=20260808, count=24)
+
+    @pytest.mark.slow
+    def test_full_sweep_200_configs(self):
+        """The acceptance sweep: 200 randomized configs, both backends."""
+        run_differential(master_seed=987654321, count=200)
+
+    def test_batch_driver_equivalence(self):
+        """Closed-loop driver: same runtime and per-node finish times."""
+        for kw in (
+            dict(k=4, n=2, seed=7),
+            dict(topology="torus", k=4, n=2, num_vcs=4, seed=3),
+        ):
+            results = {}
+            for backend in NETWORK_BACKENDS:
+                cfg = NetworkConfig(backend=backend, **kw)
+                res = BatchSimulator(cfg, batch_size=30, max_outstanding=2).run()
+                results[backend] = (
+                    res.runtime,
+                    res.throughput,
+                    res.total_requests,
+                    res.avg_request_latency,
+                    res.node_finish.tolist(),
+                )
+            assert results["object"] == results["vectorized"], kw
+
+    @pytest.mark.slow
+    def test_cmp_driver_equivalence(self):
+        """Execution-driven CMP: the network backend must not change a
+        single cycle of the full-system run."""
+        from repro.config import CmpConfig
+        from repro.execdriven import BENCHMARKS, CmpSystem
+
+        outs = {}
+        for backend in NETWORK_BACKENDS:
+            spec = BENCHMARKS["blackscholes"](1500)
+            cmp_cfg = CmpConfig(
+                network=NetworkConfig(
+                    k=4, n=2, num_vcs=8, vc_buffer_size=4, backend=backend
+                )
+            )
+            res = CmpSystem(spec, cmp_cfg, timer_interval=10000, seed=3).run()
+            outs[backend] = (
+                res.cycles,
+                res.total_flits,
+                res.requests,
+                res.traffic_matrix.tobytes(),
+                res.timeline.tobytes(),
+            )
+        assert outs["object"] == outs["vectorized"]
+
+
+# ---------------------------------------------------------------------------
+# construction contract
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_factory_dispatch(self, monkeypatch):
+        from repro.network.network import Network
+        from repro.network.vectorized import VectorizedNetwork
+
+        monkeypatch.delenv("REPRO_DEFAULT_BACKEND", raising=False)
+        assert isinstance(build_network(NetworkConfig()), Network)
+        assert isinstance(
+            build_network(NetworkConfig(backend="vectorized")), VectorizedNetwork
+        )
+
+    def test_env_default_backend_override(self, monkeypatch):
+        """REPRO_DEFAULT_BACKEND=vectorized upgrades supported configs (the
+        CI backend dimension) but never touches unsupported ones."""
+        from repro.network.network import Network
+        from repro.network.vectorized import VectorizedNetwork
+
+        monkeypatch.setenv("REPRO_DEFAULT_BACKEND", "vectorized")
+        assert isinstance(build_network(NetworkConfig()), VectorizedNetwork)
+        # outside the vectorized envelope: silently stays on object
+        assert isinstance(
+            build_network(NetworkConfig(faults="links:1")), Network
+        )
+        assert isinstance(build_network(NetworkConfig(credit_delay=0)), Network)
+        # construction overrides are an object-backend feature
+        assert isinstance(build_network(NetworkConfig(), faults=None), Network)
+
+    def test_vectorized_supports_mirrors_constructor(self):
+        from repro.network.factory import vectorized_supports
+
+        assert vectorized_supports(NetworkConfig())
+        assert not vectorized_supports(NetworkConfig(faults="links:1"))
+        assert not vectorized_supports(NetworkConfig(credit_delay=0))
+        for kw in (dict(), dict(faults="links:1"), dict(credit_delay=0)):
+            cfg = NetworkConfig(backend="vectorized", **kw)
+            if vectorized_supports(cfg):
+                build_network(cfg)  # must not raise
+            else:
+                with pytest.raises((ValueError, TypeError)):
+                    build_network(cfg)
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="backend"):
+            NetworkConfig(backend="warp-drive")
+
+    def test_vectorized_rejects_unsupported(self):
+        # fault plans and zero-delay credits run on the reference backend only
+        with pytest.raises(ValueError, match="fault"):
+            build_network(NetworkConfig(backend="vectorized", faults="links:2"))
+        with pytest.raises(ValueError, match="credit_delay"):
+            build_network(NetworkConfig(backend="vectorized", credit_delay=0))
+
+    def test_vectorized_rejects_overrides(self):
+        with pytest.raises(TypeError, match="overrides"):
+            build_network(NetworkConfig(backend="vectorized"), topology=object())
+
+
+# ---------------------------------------------------------------------------
+# fast profiles: the statistical fallback path
+# ---------------------------------------------------------------------------
+
+
+def stats_close(
+    a: dict, b: dict, *, tolerance: float = 0.05, min_r: float = 0.97
+) -> tuple[bool, str]:
+    """Tolerance check for fast-profile configs: scalar figures within
+    ``tolerance`` (relative) and per-node latency correlation >= ``min_r``."""
+    for name in ("avg_latency", "throughput"):
+        x, y = a[name], b[name]
+        if x != y and abs(x - y) > tolerance * max(abs(x), abs(y)):
+            return False, f"{name}: {x} vs {y} beyond {tolerance:.0%}"
+    pa = np.array([x for x in a["per_node"]], dtype=float)
+    pb = np.array([x for x in b["per_node"]], dtype=float)
+    ok = ~(np.isnan(pa) | np.isnan(pb))
+    if ok.sum() >= 3 and np.std(pa[ok]) > 0 and np.std(pb[ok]) > 0:
+        r = float(np.corrcoef(pa[ok], pb[ok])[0, 1])
+        if r < min_r:
+            return False, f"per-node latency correlation {r:.3f} < {min_r}"
+    return True, ""
+
+
+class TestFastProfiles:
+    def test_registry_is_empty_by_construction(self):
+        """Every accepted config is exact today; this pins that claim so a
+        new profile entry is a deliberate, reviewed decision."""
+        assert FAST_PROFILES == ()
+        assert not is_fast_profile(NetworkConfig(routing="ma", num_vcs=4))
+
+    def test_registered_profiles_statistically_close(self):
+        """When profiles exist, they must pass the statistical check."""
+        if not FAST_PROFILES:
+            pytest.skip("no fast profiles registered (all configs are exact)")
+        for profile in FAST_PROFILES:
+            kw = dict(profile)
+            obj = openloop_record(NetworkConfig(backend="object", **kw), 0.15)
+            vec = openloop_record(NetworkConfig(backend="vectorized", **kw), 0.15)
+            ok, why = stats_close(obj, vec)
+            assert ok, f"profile {profile}: {why}"
+
+    def test_checker_accepts_identical_and_rejects_different(self):
+        cfg = NetworkConfig(k=4, n=2, seed=7)
+        rec = openloop_record(cfg, 0.15)
+        ok, _ = stats_close(rec, rec)
+        assert ok
+        far = openloop_record(NetworkConfig(topology="ring", k=4, n=2, seed=7), 0.15)
+        ok, why = stats_close(rec, far)
+        assert not ok and why

@@ -404,11 +404,40 @@ class TestBenchUpdateBaselines:
         assert rc == 0
         data = json.loads((tmp_path / "seed_baseline.json").read_text())
         assert "fake" in data["quick"]
-        assert data["quick"]["fake"] > 0
+        assert data["quick"]["fake"]["cps"] > 0
+        # the baseline records the backend it was measured on
+        assert data["quick"]["fake"]["backend"] == "object"
         # a later plain run reads it back as the speedup_vs_seed reference
         bench.run_bench(quick=True, out_dir=tmp_path, repeats=1, echo=lambda s: None)
         record = json.loads((tmp_path / "BENCH_fake.quick.json").read_text())
-        assert record["seed_baseline_cps"] == data["quick"]["fake"]
+        assert record["seed_baseline_cps"] == data["quick"]["fake"]["cps"]
+        assert record["backend"] == "object"
+
+    def test_baseline_from_other_backend_never_gates(self, tmp_path, monkeypatch):
+        """A baseline measured under one backend must not validate (or
+        fail) a scenario running under another."""
+        import json
+
+        bench = self._fake_scenarios(monkeypatch)
+        (tmp_path / "seed_baseline.json").write_text(
+            json.dumps({"quick": {"fake": {"cps": 1e9, "backend": "vectorized"}}})
+        )
+        bench.run_bench(quick=True, out_dir=tmp_path, repeats=1, echo=lambda s: None)
+        record = json.loads((tmp_path / "BENCH_fake.quick.json").read_text())
+        assert record["seed_baseline_cps"] is None
+        assert record["speedup_vs_seed"] is None
+
+    def test_legacy_bare_float_baseline_reads_as_object(self, tmp_path, monkeypatch):
+        import json
+
+        bench = self._fake_scenarios(monkeypatch)
+        (tmp_path / "seed_baseline.json").write_text(
+            json.dumps({"quick": {"fake": 0.001}})
+        )
+        bench.run_bench(quick=True, out_dir=tmp_path, repeats=1, echo=lambda s: None)
+        record = json.loads((tmp_path / "BENCH_fake.quick.json").read_text())
+        assert record["seed_baseline_cps"] == 0.001
+        assert record["speedup_vs_seed"] > 0
 
     def test_plain_run_leaves_baselines_alone(self, tmp_path, monkeypatch):
         bench = self._fake_scenarios(monkeypatch)

@@ -42,10 +42,14 @@ def cfg() -> NetworkConfig:
     return NetworkConfig(k=4, n=2, seed=7)
 
 
+BACKENDS = ("object", "vectorized")
+
+
 class TestOpenLoopGolden:
-    def test_seeded_run_bit_identical(self, cfg):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_seeded_run_bit_identical(self, cfg, backend):
         res = OpenLoopSimulator(
-            cfg, warmup=200, measure=400, drain_limit=4000
+            cfg.with_(backend=backend), warmup=200, measure=400, drain_limit=4000
         ).run(0.15)
         assert res.num_measured == 961
         assert res.avg_latency == 6.45681581685744
@@ -55,6 +59,50 @@ class TestOpenLoopGolden:
         assert res.saturated is False
         assert digest(res.latencies) == "f37300b4a16e0db9"
         assert digest(res.per_node_latency) == "24b418683089b767"
+
+
+class TestTopologyGolden:
+    """Torus and ring goldens, pinned for both backends.
+
+    Captured from the object backend at the commit introducing the
+    vectorized backend; both backends must reproduce them bit-exactly, so
+    any drift in the dateline VC classes or wrap-around routing — on either
+    implementation — fails here.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_torus_balanced_dateline(self, backend):
+        cfg = NetworkConfig(topology="torus", k=4, n=2, seed=7, backend=backend)
+        res = OpenLoopSimulator(cfg, warmup=200, measure=400, drain_limit=4000).run(0.15)
+        assert res.num_measured == 961
+        assert res.avg_latency == 7.502601456815817
+        assert res.throughput == 0.15046875
+        assert res.avg_hops == 2.1238293444328824
+        assert digest(res.latencies) == "12677a27bd26b03c"
+        assert digest(res.per_node_latency) == "1395e92d74df763f"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_torus_strict_dateline(self, backend):
+        cfg = NetworkConfig(
+            topology="torus", k=4, n=2, seed=7, dateline="strict", backend=backend
+        )
+        res = OpenLoopSimulator(cfg, warmup=200, measure=400, drain_limit=4000).run(0.15)
+        assert res.num_measured == 961
+        assert res.avg_latency == 7.49843912591051
+        assert res.throughput == 0.15046875
+        assert digest(res.latencies) == "079b79b04f72e189"
+        assert digest(res.per_node_latency) == "2077a8405b4acd53"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ring(self, backend):
+        cfg = NetworkConfig(topology="ring", k=4, n=2, seed=7, backend=backend)
+        res = OpenLoopSimulator(cfg, warmup=200, measure=400, drain_limit=4000).run(0.15)
+        assert res.num_measured == 961
+        assert res.avg_latency == 14.183142559833506
+        assert res.throughput == 0.15015625
+        assert res.avg_hops == 4.235171696149844
+        assert digest(res.latencies) == "96735525268ecb6a"
+        assert digest(res.per_node_latency) == "fcb8ce3ed1b1f3ab"
 
 
 class TestClosedLoopGolden:

@@ -215,16 +215,49 @@ class TestJsonlRoundTrip:
         assert "|" in art
 
 
+class TestBackendEquivalence:
+    """Probes must see the exact same simulation on either backend."""
+
+    @pytest.mark.parametrize("kinds", ["all", "channel,stall"])
+    def test_windowed_records_identical_across_backends(self, cfg, kinds, tmp_path):
+        """Every windowed JSONL record — per-channel counts included — is
+        identical between the object and vectorized backends."""
+        from repro.analysis.io import read_jsonl
+
+        records = {}
+        for backend in ("object", "vectorized"):
+            out = tmp_path / f"{backend}.jsonl"
+            probes = ProbeSet(build_probes(kinds), interval=50, out=out)
+            res = run_openloop(cfg.with_(backend=backend), probes, rate=0.3)
+            assert res.probe_records
+            assert read_jsonl(out) == res.probe_records
+            records[backend] = res.probe_records
+        assert records["object"] == records["vectorized"]
+
+    def test_vectorized_hook_removed_on_detach(self, cfg):
+        from repro.network.factory import build_network
+
+        net = build_network(cfg.with_(backend="vectorized"))
+        probes = ProbeSet(build_probes("channel"), interval=50)
+        probes.begin(net)
+        probes.finish(net)
+        assert net._flit_hook is None
+
+
 class TestZeroCostWhenDisabled:
     def test_no_flit_hook_without_probes(self, cfg):
         net, _ = drive_network(cfg, None, cycles=100)
         assert net._flit_hook is None
 
-    def test_disabled_probes_allocate_nothing(self, cfg):
-        """With probes=None no code from probes.py allocates during a run."""
+    @pytest.mark.parametrize("backend", ["object", "vectorized"])
+    def test_disabled_probes_allocate_nothing(self, cfg, backend):
+        """With probes=None no code from probes.py allocates during a run,
+        on either network backend."""
         import repro.core.probes as probes_mod
 
-        sim = OpenLoopSimulator(cfg, warmup=50, measure=100, drain_limit=500)
+        sim = OpenLoopSimulator(
+            cfg.with_(backend=backend), warmup=50, measure=100, drain_limit=500
+        )
         tracemalloc.start()
         try:
             sim.run(0.1)

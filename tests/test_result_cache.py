@@ -301,6 +301,54 @@ class TestSweepIntegration:
         assert set(entry["coords"]) == {"router_delay", "rate"}
 
 
+class TestBackendIdentity:
+    """A record produced under one network backend must never be keyed,
+    hit, or verified as if it came from the other."""
+
+    def test_point_key_differs_across_backends(self):
+        import dataclasses
+
+        spec = runner_spec(GRID_RUNNER)
+        keys = {
+            point_key(
+                dataclasses.asdict(GRID_CFG.with_(backend=b)),
+                {"rate": 0.1},
+                spec,
+                salt="s",
+            )
+            for b in ("object", "vectorized")
+        }
+        assert len(keys) == 2
+
+    def test_backend_sweeps_store_disjoint_entries(self, tmp_path):
+        cdir = tmp_path / "cache"
+        grid_sweep(cache=cdir)
+        vec = run_sweep(
+            GRID_CFG.with_(backend="vectorized"),
+            GRID_AXES,
+            GRID_RUNNER,
+            extra_axes=GRID_EXTRA,
+            cache=cdir,
+        )
+        # the vectorized sweep missed everywhere despite identical results
+        assert vec.health.cache_hits == 0
+        cache = ResultCache(cdir)
+        backends = sorted(e["config"]["backend"] for e in cache.entries())
+        assert backends == ["object"] * len(vec) + ["vectorized"] * len(vec)
+
+    def test_verify_reruns_under_recorded_backend(self, tmp_path):
+        cdir = tmp_path / "cache"
+        run_sweep(
+            GRID_CFG.with_(backend="vectorized"),
+            GRID_AXES,
+            GRID_RUNNER,
+            extra_axes=GRID_EXTRA,
+            cache=cdir,
+        )
+        results = verify_entries(ResultCache(cdir), sample=2, seed=0)
+        assert all(r.status == "ok" for r in results)
+
+
 class TestVerify:
     def test_verify_ok_on_real_entries(self, tmp_path):
         cdir = tmp_path / "cache"
