@@ -18,6 +18,7 @@ Quick taste::
     print(cl.run().runtime)
 """
 
+from .classes import TrafficClass, parse_classes
 from .config import CmpConfig, NetworkConfig
 from .core.closedloop import BatchResult, BatchSimulator
 from .core.engine import Phase, SimulationEngine
@@ -34,6 +35,8 @@ from .network import IdealNetwork, Network, NetworkLike, Packet
 __all__ = [
     "NetworkConfig",
     "CmpConfig",
+    "TrafficClass",
+    "parse_classes",
     "Network",
     "IdealNetwork",
     "NetworkLike",

@@ -91,7 +91,23 @@ def _add_network_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--vc-buffer-size", "-q", type=int, default=4)
     p.add_argument("--router-delay", "--tr", type=int, default=1)
     p.add_argument("--routing", default="dor", choices=("dor", "val", "ma", "romm"))
-    p.add_argument("--arbitration", default="round_robin", choices=("round_robin", "age"))
+    p.add_argument(
+        "--arbitration",
+        default="round_robin",
+        choices=("round_robin", "age", "priority", "weighted"),
+    )
+    p.add_argument(
+        "--classes",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "traffic-class registry: a count (e.g. '2') or '+'-separated "
+            "entries 'name[:priority=P][:weight=W][:share=S][:pattern=T]', "
+            "e.g. 'user:share=3+os:priority=1' (default: one class); pair "
+            "with --arbitration priority|weighted; also sweepable via "
+            "--axis classes=SPEC1,SPEC2"
+        ),
+    )
     p.add_argument(
         "--traffic",
         default="uniform_random",
@@ -139,6 +155,7 @@ def _network_config(args: argparse.Namespace) -> NetworkConfig:
         traffic=args.traffic,
         packet_size=args.packet_size,
         backend=getattr(args, "backend", "object"),
+        classes=getattr(args, "classes", None),
         seed=args.seed,
         faults=getattr(args, "faults", None),
     )
@@ -199,6 +216,16 @@ def _cmd_openloop(args) -> int:
         f"throughput {res.throughput:.4f}, saturated={res.saturated}, "
         f"{res.num_measured} packets measured"
     )
+    if res.num_classes > 1:
+        for cls, stats, tp in zip(
+            cfg.classes, res.per_class_stats(), res.per_class_throughput
+        ):
+            print(
+                f"  class {cls.name} (prio {cls.priority}, weight "
+                f"{cls.weight}): avg latency {stats.mean:.2f}, p99 "
+                f"{stats.p99:.2f}, throughput {tp:.4f}, "
+                f"{stats.count} packets"
+            )
     _report_probes(probes, res.probe_records)
     return 0
 
@@ -217,12 +244,20 @@ def _openloop_runner(cfg, *, rate, warmup, measure, drain_limit):
     """Module-level sweep runner (picklable for the process pool)."""
     sim = OpenLoopSimulator(cfg, warmup=warmup, measure=measure, drain_limit=drain_limit)
     res = sim.run(rate)
-    return {
+    record = {
         "latency": res.avg_latency,
         "worst_node": res.worst_node_latency,
         "throughput": res.throughput,
         "saturated": res.saturated,
     }
+    if res.num_classes > 1:
+        # Per-class views, JSON-native so sweep journals round-trip.
+        record["class_names"] = [c.name for c in cfg.classes]
+        record["class_latency"] = [
+            s.mean if s.count else None for s in res.per_class_stats()
+        ]
+        record["class_throughput"] = res.per_class_throughput.tolist()
+    return record
 
 
 def _print_progress(p: SweepProgress) -> None:

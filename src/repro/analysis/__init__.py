@@ -11,9 +11,13 @@ from .io import (
 )
 from .stats import (
     ConfidenceInterval,
+    LatencyStats,
     batch_means,
+    class_breakdown,
     confidence_interval,
     index_of_dispersion,
+    latency_stats,
+    per_class_latency_stats,
     warmup_cutoff,
 )
 from .tables import format_matrix, format_records, format_table
@@ -26,6 +30,10 @@ __all__ = [
     "ascii_scatter",
     "ascii_heatmap",
     "probe_heatmap",
+    "LatencyStats",
+    "latency_stats",
+    "per_class_latency_stats",
+    "class_breakdown",
     "ConfidenceInterval",
     "confidence_interval",
     "batch_means",

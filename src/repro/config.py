@@ -14,16 +14,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from .classes import DEFAULT_CLASSES, TrafficClass, parse_classes
+
 __all__ = [
     "NetworkConfig",
     "CmpConfig",
+    "TrafficClass",
     "TABLE_I_PARAMETER_SPACE",
     "TABLE_II_PARAMETERS",
 ]
 
 _TOPOLOGIES = ("mesh", "torus", "ring", "ideal")
 _ROUTERS = ("dor", "val", "ma", "romm")
-_ARBITERS = ("round_robin", "age")
+_ARBITERS = ("round_robin", "age", "priority", "weighted")
 _PATTERNS = (
     "uniform_random",
     "bit_reversal",
@@ -59,7 +62,19 @@ class NetworkConfig:
     routing:
         ``"dor"``, ``"val"``, ``"ma"`` or ``"romm"``.
     arbitration:
-        ``"round_robin"`` or ``"age"``.
+        ``"round_robin"`` or ``"age"`` (the paper's Table I), or the
+        class-aware family: ``"priority"`` (strict priority by the packet's
+        traffic class, age/pid/ivc tie-break) or ``"weighted"`` (integer
+        virtual-time weighted-fair over classes, priority tie-break).
+    classes:
+        Traffic-class registry — any spec accepted by
+        :func:`repro.classes.parse_classes` (``None``, an int, a spec string
+        like ``"hi:priority=1:weight=4,lo"``, or a tuple of
+        :class:`~repro.classes.TrafficClass`).  Normalized eagerly to the
+        tuple form; the default single class is bit-identical to the
+        pre-class behaviour.  Multi-class registries split the offered rate
+        by class ``share`` and may override the spatial ``pattern`` per
+        class.
     link_delay:
         Channel delay in cycles (1 in Table I; the folded torus doubles it
         internally as §III-C notes).
@@ -110,6 +125,10 @@ class NetworkConfig:
     #: (default; both classes carry traffic) or "strict" (textbook
     #: dateline; kept for the ablation study).
     dateline: str = "balanced"
+    #: traffic-class registry (see class docstring); normalized to a tuple
+    #: of TrafficClass by __post_init__, so any accepted spec form works in
+    #: sweep axes and CLI flags alike.
+    classes: "tuple[TrafficClass, ...]" = DEFAULT_CLASSES
     seed: int = 1
     faults: "str | None" = None
 
@@ -118,6 +137,7 @@ class NetworkConfig:
             object.__setattr__(self, "seed", int(self.seed))
         except (TypeError, ValueError):
             raise ValueError(f"seed must be an integer, got {self.seed!r}") from None
+        object.__setattr__(self, "classes", parse_classes(self.classes))
         if self.topology not in _TOPOLOGIES:
             raise ValueError(f"unknown topology {self.topology!r}; pick from {_TOPOLOGIES}")
         if self.routing not in _ROUTERS:
@@ -126,6 +146,12 @@ class NetworkConfig:
             raise ValueError(f"unknown arbitration {self.arbitration!r}; pick from {_ARBITERS}")
         if self.traffic not in _PATTERNS:
             raise ValueError(f"unknown traffic {self.traffic!r}; pick from {_PATTERNS}")
+        for cls in self.classes:
+            if cls.pattern is not None and cls.pattern not in _PATTERNS:
+                raise ValueError(
+                    f"class {cls.name!r}: unknown pattern {cls.pattern!r}; "
+                    f"pick from {_PATTERNS}"
+                )
         if self.packet_size not in _SIZES:
             raise ValueError(f"unknown packet_size {self.packet_size!r}; pick from {_SIZES}")
         if self.dateline not in ("balanced", "strict"):
@@ -169,6 +195,11 @@ class NetworkConfig:
             from .core.resilience import FaultPlan
 
             FaultPlan.parse(self.faults)  # eager syntax validation
+
+    @property
+    def num_classes(self) -> int:
+        """Number of traffic classes in the registry."""
+        return len(self.classes)
 
     @property
     def num_nodes(self) -> int:

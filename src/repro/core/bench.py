@@ -81,9 +81,13 @@ def _openloop(
     watchdog_window: int = 0,
     warmup: int = 1000,
     measure: int = 2000,
+    classes: Optional[str] = None,
+    arbitration: str = "round_robin",
 ) -> tuple[int, int, dict]:
     scale = 4 if quick else 1
-    cfg = NetworkConfig(faults=faults, **_MESH)
+    cfg = NetworkConfig(
+        faults=faults, classes=classes, arbitration=arbitration, **_MESH
+    )
     nets: list[NetworkLike] = []
     sim = OpenLoopSimulator(
         cfg,
@@ -95,16 +99,17 @@ def _openloop(
     )
     res = sim.run(rate)
     net = nets[-1]
-    return (
-        net.now,
-        net.fast_forwarded_cycles,
-        {
-            "avg_latency": res.avg_latency,
-            "throughput": res.throughput,
-            "num_measured": res.num_measured,
-            "saturated": res.saturated,
-        },
-    )
+    fingerprint = {
+        "avg_latency": res.avg_latency,
+        "throughput": res.throughput,
+        "num_measured": res.num_measured,
+        "saturated": res.saturated,
+    }
+    if res.num_classes > 1:
+        fingerprint["class_latency"] = [
+            s.mean if s.count else None for s in res.per_class_stats()
+        ]
+    return net.now, net.fast_forwarded_cycles, fingerprint
 
 
 def _batch(quick: bool, *, nar: float = 1.0, max_outstanding: int = 4) -> tuple[int, int, dict]:
@@ -194,6 +199,20 @@ SCENARIOS: dict[str, BenchScenario] = {
             "openloop_saturation",
             "8x8 mesh, open-loop at 0.44 flits/cycle/node (saturation)",
             lambda quick: _openloop(0.44, quick),
+        ),
+        BenchScenario(
+            # Near saturation with strict-priority arbitration: the high
+            # class keeps near-zero-load latency while the low class queues,
+            # so the fingerprint's per-class latencies double as a
+            # separation check on every bench run.
+            "priority_2class",
+            "8x8 mesh at 0.40 load, 2 classes (os prio 1), strict priority",
+            lambda quick: _openloop(
+                0.40,
+                quick,
+                classes="user:share=4+os:priority=1",
+                arbitration="priority",
+            ),
         ),
         BenchScenario(
             "faulted_mesh",
@@ -509,6 +528,25 @@ def run_backend_compare(
         )
     speedup = obj["wall_time_s"] / vec["wall_time_s"]
     echo(f"  speedup: {speedup:.2f}x (records bit-identical)")
+    # Second, un-timed leg: the same comparison with a 2-class priority
+    # registry, so the class-aware arbitration path is equivalence-checked
+    # on every backend-compare run (quick mode included — the CI smoke).
+    cls_kw = {
+        **kw,
+        **(BACKEND_COMPARE_SCENARIO["quick"] if not quick else {}),
+        "classes": "user:share=4+os:priority=1",
+        "arbitration": "priority",
+    }
+    cls_fp: dict[str, dict] = {}
+    for backend in ("object", "vectorized"):
+        cycles, fingerprint = _backend_leg(NetworkConfig(backend=backend, **cls_kw))
+        cls_fp[backend] = {"cycles": cycles, **fingerprint}
+    if cls_fp["object"] != cls_fp["vectorized"]:
+        raise AssertionError(
+            "vectorized backend diverged on the 2-class priority scenario "
+            f"({cls_fp['vectorized']} vs {cls_fp['object']})"
+        )
+    echo("  2-class priority records bit-identical")
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     suffix = ".quick.json" if quick else ".json"
@@ -526,6 +564,7 @@ def run_backend_compare(
         "object": {k: v for k, v in obj.items() if k != "fingerprint"},
         "vectorized": {k: v for k, v in vec.items() if k != "fingerprint"},
         "fingerprint": obj["fingerprint"],
+        "two_class_fingerprint": cls_fp["object"],
         "speedup": speedup,
         "min_speedup": min_speedup if check else None,
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,

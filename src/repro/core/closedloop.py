@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from .. import rng as rng_mod
+from ..classes import OS_CLASS, USER_CLASS, USER_OS_CLASSES, inject_order
 from ..config import NetworkConfig
 from ..network.links import TimeBuckets
 from ..network.factory import build_network
@@ -40,9 +41,6 @@ from .probes import ProbeSet
 from .reply import ImmediateReply, ReplyModel
 
 __all__ = ["BatchResult", "BatchSimulator", "USER_CLASS", "OS_CLASS"]
-
-USER_CLASS = 0
-OS_CLASS = 1
 
 
 @dataclass
@@ -92,28 +90,47 @@ class _BatchLoop:
         b = sim.batch_size
         self.sim = sim
         self.gen = gen
+        classes = sim.config.classes
         self.os_static = sim.os_model.static_extra(b) if sim.os_model else 0
         self.timer_interval = sim.os_model.timer_interval if sim.os_model else 0
         self.next_timer = self.timer_interval if self.timer_interval else -1
-        self.user_remaining = [b] * n
-        self.os_remaining = [self.os_static] * n
+        # Per-class bookkeeping, indexed by the config's class registry:
+        # the user batch lives in USER_CLASS, the OS extension's extras in
+        # OS_CLASS (the registry is auto-extended when an os_model is set),
+        # any further classes carry no batch work — they exist for
+        # arbitration.  Injection walks classes in priority order
+        # (inject_order), which for the user/OS pair is exactly the paper's
+        # "interrupts preempt" rule.
+        self.remaining = [[0] * n for _ in classes]
+        self.remaining[USER_CLASS] = [b] * n
+        if self.os_static:
+            self.remaining[OS_CLASS] = [self.os_static] * n
+        self.inject_order = inject_order(classes)
+        self.nar_by_class = [sim.nar] * len(classes)
+        if sim.os_model is not None and len(classes) > OS_CLASS:
+            self.nar_by_class[OS_CLASS] = sim.os_model.os_nar
+        self.requests_by_class = [0] * len(classes)
         self.replies_needed = [b + self.os_static] * n
         self.pf = [0] * n
         self.finish = np.full(n, -1, dtype=np.int64)
         self.unfinished = n
         self.pending_replies = TimeBuckets()
         self.total_requests = 0
-        self.os_requests = 0
         self.req_latency_sum = 0
         self.req_latency_count = 0
-        self.user_nar = sim.nar
-        self.os_nar = sim.os_model.os_nar if sim.os_model else 1.0
         # Fast-forward bookkeeping: the dense loop draws ``gen.random(n)``
         # unconditionally every cycle, so lookahead must consume exactly
         # those draws for every cycle it skips (see next_event_cycle).
         self._drawn_until = 0
         self._cached_cycle = -1
         self._cached_draws = None
+
+    @property
+    def os_requests(self) -> int:
+        """Requests injected by the OS class (0 without an OS class)."""
+        if len(self.requests_by_class) > OS_CLASS:
+            return self.requests_by_class[OS_CLASS]
+        return 0
 
     def inject(self, engine: SimulationEngine) -> None:
         net = engine.network
@@ -129,9 +146,10 @@ class _BatchLoop:
         # substrate.
         if self.next_timer >= 0 and now == self.next_timer:
             extra = sim.os_model.timer_batch
+            os_remaining = self.remaining[OS_CLASS]
             for node in range(n):
-                if self.finish[node] < 0 and self.os_remaining[node] == 0:
-                    self.os_remaining[node] += extra
+                if self.finish[node] < 0 and os_remaining[node] == 0:
+                    os_remaining[node] += extra
                     self.replies_needed[node] += extra
             self.next_timer = now + self.timer_interval
         # Release replies whose memory service completed.
@@ -158,15 +176,18 @@ class _BatchLoop:
         m = sim.max_outstanding
         pattern = sim.pattern
         sizes = sim.sizes
+        remaining = self.remaining
+        order = self.inject_order
+        nar = self.nar_by_class
         for node in range(n):
             if pf[node] >= m:
                 continue
-            if self.os_remaining[node] > 0:
-                cls, rate = OS_CLASS, self.os_nar
-            elif self.user_remaining[node] > 0:
-                cls, rate = USER_CLASS, self.user_nar
+            for cls in order:
+                if remaining[cls][node] > 0:
+                    break
             else:
                 continue
+            rate = nar[cls]
             if rate < 1.0 and draws[node] >= rate:
                 continue
             dst = pattern.dest(node, gen)
@@ -176,11 +197,8 @@ class _BatchLoop:
             net.offer(pkt)
             pf[node] += 1
             self.total_requests += 1
-            if cls == OS_CLASS:
-                self.os_remaining[node] -= 1
-                self.os_requests += 1
-            else:
-                self.user_remaining[node] -= 1
+            remaining[cls][node] -= 1
+            self.requests_by_class[cls] += 1
 
     def on_delivered(self, pkt, engine: SimulationEngine) -> None:
         net = engine.network
@@ -205,10 +223,8 @@ class _BatchLoop:
             owner = pkt.meta[1]
             self.pf[owner] -= 1
             self.replies_needed[owner] -= 1
-            if (
-                self.replies_needed[owner] == 0
-                and self.user_remaining[owner] == 0
-                and self.os_remaining[owner] == 0
+            if self.replies_needed[owner] == 0 and all(
+                rem[owner] == 0 for rem in self.remaining
             ):
                 self.finish[owner] = net.now
                 self.unfinished -= 1
@@ -239,16 +255,18 @@ class _BatchLoop:
         # Classify nodes by their (frozen) eligibility and NAR gate.
         pf = self.pf
         m = self.sim.max_outstanding
+        remaining = self.remaining
+        nar = self.nar_by_class
         gated: list[tuple[int, float]] = []
         for node in range(len(pf)):
             if pf[node] >= m:
                 continue
-            if self.os_remaining[node] > 0:
-                rate = self.os_nar
-            elif self.user_remaining[node] > 0:
-                rate = self.user_nar
+            for cls in self.inject_order:
+                if remaining[cls][node] > 0:
+                    break
             else:
                 continue
+            rate = nar[cls]
             if rate >= 1.0:
                 return now  # an ungated node injects this very cycle
             gated.append((node, rate))
@@ -327,6 +345,13 @@ class BatchSimulator:
             raise ValueError("max_outstanding (m) must be >= 1")
         if not 0.0 < nar <= 1.0:
             raise ValueError("nar must be in (0, 1]")
+        if os_model is not None and len(config.classes) < 2:
+            # The OS extension needs an OS traffic class; extend a default
+            # single-class config to the canonical user/OS registry (the OS
+            # class carries priority 1, so priority-aware arbiters favor
+            # kernel traffic — round-robin/age arbiters ignore it and the
+            # baseline behavior is unchanged).
+            config = config.with_(classes=USER_OS_CLASSES)
         self.config = config
         self.batch_size = batch_size
         self.max_outstanding = max_outstanding

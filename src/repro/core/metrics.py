@@ -1,63 +1,32 @@
 """Measurement statistics shared by the harnesses.
 
-Implements the paper's derived views of raw packet/runtime data: latency
-summary statistics, the per-node distributions of Fig. 11, and the spatial
-runtime map of Fig. 7.
+Implements the paper's derived views of raw packet/runtime data: the
+per-node distributions of Fig. 11 and the spatial runtime map of Fig. 7.
+The latency summary statistics (:class:`LatencyStats`, including the
+per-class variants) live canonically in :mod:`repro.analysis.stats` and are
+re-exported here for compatibility — the analysis package imports nothing
+from :mod:`repro.core`, so the dependency points one way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
+
+from ..analysis.stats import (  # noqa: F401  (compatibility re-exports)
+    LatencyStats,
+    class_breakdown,
+    latency_stats,
+    per_class_latency_stats,
+)
 
 __all__ = [
     "LatencyStats",
     "latency_stats",
+    "per_class_latency_stats",
+    "class_breakdown",
     "node_distribution",
     "runtime_map",
 ]
-
-
-@dataclass(frozen=True)
-class LatencyStats:
-    """Summary statistics of a latency (or runtime) sample."""
-
-    count: int
-    mean: float
-    std: float
-    minimum: float
-    maximum: float
-    p50: float
-    p95: float
-    p99: float
-
-    @classmethod
-    def from_values(cls, values: np.ndarray) -> "LatencyStats":
-        values = np.asarray(values, dtype=np.float64)
-        if values.size == 0:
-            nan = float("nan")
-            return cls(0, nan, nan, nan, nan, nan, nan, nan)
-        # Sample standard deviation (ddof=1): these are finite samples of
-        # the latency population, and the population formula (ddof=0)
-        # systematically under-reports spread on small windows.  A single
-        # sample has no defined spread — report NaN, not 0.
-        std = float(values.std(ddof=1)) if values.size > 1 else float("nan")
-        return cls(
-            count=int(values.size),
-            mean=float(values.mean()),
-            std=std,
-            minimum=float(values.min()),
-            maximum=float(values.max()),
-            p50=float(np.percentile(values, 50)),
-            p95=float(np.percentile(values, 95)),
-            p99=float(np.percentile(values, 99)),
-        )
-
-
-def latency_stats(packets) -> LatencyStats:
-    """Latency statistics over delivered packets."""
-    return LatencyStats.from_values(np.array([p.latency for p in packets], dtype=np.float64))
 
 
 def node_distribution(

@@ -23,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from .. import rng as rng_mod
+from ..classes import class_shares
 from ..config import NetworkConfig
 from ..network.factory import build_network
 from ..traffic.patterns import TrafficPattern
@@ -30,6 +31,7 @@ from ..traffic.process import Bernoulli
 from ..traffic.registry import build_pattern, build_sizes
 from ..traffic.sizes import SizeDistribution
 from .engine import SimulationEngine
+from .metrics import LatencyStats
 from .probes import ProbeSet
 
 __all__ = ["OpenLoopResult", "OpenLoopSimulator"]
@@ -55,6 +57,16 @@ class OpenLoopResult:
     per_node_latency: np.ndarray = field(repr=False)
     latencies: np.ndarray = field(repr=False)
     probe_records: list = field(default_factory=list, repr=False)
+    #: traffic-class id of each measured packet, aligned with ``latencies``
+    class_ids: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64), repr=False
+    )
+    num_classes: int = 1
+    #: accepted flits/cycle/node per class, measured over the window's
+    #: tagged packets (sums to ~``throughput`` away from saturation)
+    per_class_throughput: np.ndarray = field(
+        default_factory=lambda: np.zeros(1), repr=False
+    )
 
     @property
     def p99_latency(self) -> float:
@@ -62,6 +74,18 @@ class OpenLoopResult:
         if self.saturated or len(self.latencies) == 0:
             return float("inf")
         return float(np.percentile(self.latencies, 99))
+
+    def per_class_stats(self) -> "list[LatencyStats]":
+        """Latency statistics per traffic class (NaN stats for empty classes)."""
+        return [
+            LatencyStats.from_values(self.latencies[self.class_ids == c])
+            for c in range(self.num_classes)
+        ]
+
+    @property
+    def per_class_avg_latency(self) -> np.ndarray:
+        """Mean latency per class; NaN where a class measured no packets."""
+        return np.array([s.mean for s in self.per_class_stats()])
 
 
 class _TrafficInjector:
@@ -81,12 +105,15 @@ class _TrafficInjector:
     reaches its cycle.
     """
 
-    def __init__(self, pattern, sizes, process, gen, sink: "_MeasureSink"):
+    def __init__(
+        self, pattern, sizes, process, gen, sink: "_MeasureSink", traffic_class: int = 0
+    ):
         self.pattern = pattern
         self.sizes = sizes
         self.process = process
         self.gen = gen
         self.sink = sink
+        self.traffic_class = traffic_class
         self._drawn_until = 0  # arrivals consumed for every cycle < this
         self._cached_cycle = -1
         self._cached_arrivals = None
@@ -110,10 +137,13 @@ class _TrafficInjector:
         pattern = self.pattern
         sizes = self.sizes
         sink = self.sink
+        cls = self.traffic_class
         for src in arrivals:
             src = int(src)
             dst = pattern.dest(src, gen)
-            pkt = net.make_packet(src, dst, sizes.draw(gen), measured=in_window)
+            pkt = net.make_packet(
+                src, dst, sizes.draw(gen), measured=in_window, traffic_class=cls
+            )
             if in_window:
                 sink.outstanding += 1
             net.offer(pkt)
@@ -143,6 +173,32 @@ class _TrafficInjector:
         self._cached_cycle = cycle + offset
         self._cached_arrivals = arrivals
         return cycle + offset
+
+
+class _MultiClassInjector:
+    """Per-class open-loop sources behind the single-injector interface.
+
+    Each traffic class gets its own :class:`_TrafficInjector` — its own
+    spatial pattern (the class's ``pattern`` override or the config's), its
+    own Bernoulli sub-process at ``share``-scaled rate, and its own derived
+    RNG substream, so per-class streams are independent and reproducible.
+    Classes inject in registry order each cycle; fast-forward takes the
+    minimum next-arrival over the sub-streams (each sub-injector consumes
+    its own RNG draws exactly as its dense loop would).
+    """
+
+    def __init__(self, subs: list):
+        self.subs = subs
+
+    def inject(self, engine: SimulationEngine) -> None:
+        for sub in self.subs:
+            sub.inject(engine)
+
+    def done(self, engine: SimulationEngine) -> bool:
+        return engine.in_drain
+
+    def next_event_cycle(self, engine: SimulationEngine) -> Optional[int]:
+        return min(sub.next_event_cycle(engine) for sub in self.subs)
 
 
 class _MeasureSink:
@@ -206,7 +262,6 @@ class OpenLoopSimulator:
         seed = cfg.seed if seed is None else seed
         net = self.network_factory(cfg)
         n = net.num_nodes
-        gen = rng_mod.make_generator(seed, "openloop", injection_rate)
         # Offered load is in flits/cycle/node; the Bernoulli process draws
         # packets, so scale by the mean packet size.
         p_packet = injection_rate / self.sizes.mean
@@ -216,9 +271,37 @@ class OpenLoopSimulator:
                 f"(mean size {self.sizes.mean})"
             )
         sink = _MeasureSink()
-        injector = _TrafficInjector(
-            self.pattern, self.sizes, self.process(n, p_packet), gen, sink
-        )
+        if len(cfg.classes) == 1:
+            # Single class: the exact pre-class code path — same RNG stream
+            # labels, same draw order — so defaults stay bit-identical.
+            gen = rng_mod.make_generator(seed, "openloop", injection_rate)
+            injector = _TrafficInjector(
+                self.pattern, self.sizes, self.process(n, p_packet), gen, sink
+            )
+        else:
+            subs = []
+            for idx, (cls, share) in enumerate(
+                zip(cfg.classes, class_shares(cfg.classes))
+            ):
+                pattern = (
+                    self.pattern
+                    if cls.pattern is None
+                    else build_pattern(cfg.with_(traffic=cls.pattern))
+                )
+                cgen = rng_mod.make_generator(
+                    seed, "openloop", injection_rate, "class", idx
+                )
+                subs.append(
+                    _TrafficInjector(
+                        pattern,
+                        self.sizes,
+                        self.process(n, p_packet * share),
+                        cgen,
+                        sink,
+                        traffic_class=idx,
+                    )
+                )
+            injector = _MultiClassInjector(subs)
         engine = SimulationEngine(
             net,
             injector,
@@ -267,6 +350,15 @@ class OpenLoopSimulator:
         else:
             avg = float(lat.mean())
             worst = float(np.nanmax(per_node))
+        num_classes = len(self.config.classes)
+        class_ids = np.array([p.traffic_class for p in measured], dtype=np.int64)
+        if len(measured) and self.measure:
+            sizes = np.array([p.size for p in measured], dtype=np.float64)
+            per_class_tp = np.bincount(
+                class_ids, weights=sizes, minlength=num_classes
+            ) / (self.measure * n)
+        else:
+            per_class_tp = np.zeros(num_classes)
         return OpenLoopResult(
             injection_rate=rate,
             avg_latency=avg,
@@ -277,6 +369,9 @@ class OpenLoopSimulator:
             num_measured=len(measured),
             per_node_latency=per_node,
             latencies=lat,
+            class_ids=class_ids,
+            num_classes=num_classes,
+            per_class_throughput=per_class_tp,
         )
 
     # -- derived measurements ----------------------------------------------------

@@ -458,7 +458,7 @@ def diagnose(net, *, window: int = 0) -> StallDiagnosis:
     available on backends that expose ``routers`` (the real network).
     """
     now = net.now
-    queued = sum(len(q) for q in getattr(net, "src_queues", ()))
+    queued = sum(len(q) for qs in getattr(net, "src_queues", ()) for q in qs)
     diag = StallDiagnosis(
         cycle=now,
         window=window,
@@ -521,10 +521,11 @@ def diagnose(net, *, window: int = 0) -> StallDiagnosis:
                             if key not in b.waits_on:
                                 b.waits_on.append(key)
                 diag.blocked.append(b)
-    for q in getattr(net, "src_queues", ()):
-        if q and (oldest is None or q[0].create_time < oldest.create_time):
-            oldest = q[0]
-            oldest_loc = f"source queue of node {q[0].src}"
+    for qs in getattr(net, "src_queues", ()):
+        for q in qs:
+            if q and (oldest is None or q[0].create_time < oldest.create_time):
+                oldest = q[0]
+                oldest_loc = f"source queue of node {q[0].src}"
     if oldest is not None:
         diag.oldest_packet = {
             "pid": oldest.pid,

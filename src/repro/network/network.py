@@ -14,6 +14,13 @@ Injection bandwidth is one flit per node per cycle: each node streams its
 current packet into the injection-port VC with the most free space, whole
 packets at a time, and stalls on backpressure — which is exactly the
 feedback path that differentiates closed-loop from open-loop measurement.
+
+Source queues are per traffic class: ``src_queues[node][cls]`` is a FIFO,
+and each node picks its next packet by walking the classes in
+``inject_order`` (descending priority), so a high-priority packet bypasses
+a lower-priority backlog at the source.  Preemption happens only at packet
+boundaries — a packet that has started streaming finishes first.  With a
+single class this degenerates to the one-FIFO behaviour exactly.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from .. import rng as rng_mod
+from ..classes import inject_order
 from ..config import NetworkConfig
 from ..routing.base import RoutingAlgorithm
 from ..routing.registry import build_routing
@@ -86,6 +94,7 @@ class Network(BaseNetwork):
                 buf_size=config.vc_buffer_size,
                 router_delay=config.router_delay,
                 arbitration=config.arbitration,
+                classes=config.classes,
             )
             for node in range(n)
         ]
@@ -100,7 +109,11 @@ class Network(BaseNetwork):
         self._arrivals = TimeBuckets()
         self._credits = TimeBuckets()
         self._credit_delay = config.credit_delay
-        self.src_queues: list[deque] = [deque() for _ in range(n)]
+        self._num_classes = len(config.classes)
+        self._inject_order = inject_order(config.classes)
+        self.src_queues: list[list[deque]] = [
+            [deque() for _ in range(self._num_classes)] for _ in range(n)
+        ]
         self._inj_state: list[Optional[list]] = [None] * n
         self._active_sources: set[int] = set()
         # Active-set scheduling: only routers holding buffered flits are
@@ -117,7 +130,10 @@ class Network(BaseNetwork):
     def offer(self, packet: Packet) -> None:
         """Queue ``packet`` at its source node (infinite source queue)."""
         self.routing.on_inject(packet)
-        self.src_queues[packet.src].append(packet)
+        c = packet.traffic_class
+        if c >= self._num_classes:
+            c = self._num_classes - 1
+        self.src_queues[packet.src][c].append(packet)
         self._active_sources.add(packet.src)
         self._inflight += 1
 
@@ -217,11 +233,16 @@ class Network(BaseNetwork):
             st = self._inj_state[node]
             router = self.routers[node]
             if st is None:
-                queue = self.src_queues[node]
-                if not queue:
+                queues = self.src_queues[node]
+                pkt = None
+                cls = 0
+                for cls in self._inject_order:
+                    if queues[cls]:
+                        pkt = queues[cls][0]
+                        break
+                if pkt is None:
                     done.append(node)
                     continue
-                pkt = queue[0]
                 # Choose the injection VC with most free space that is not
                 # mid-packet; whole packets stream into a single VC.
                 base = router.local_port * num_vcs
@@ -238,8 +259,8 @@ class Network(BaseNetwork):
                 if best_vc < 0:
                     self.injection_stalls += 1
                     continue  # all VCs full or busy: injection backpressure
-                st = self._inj_state[node] = [pkt, 0, best_vc]
-            pkt, fidx, vc = st
+                st = self._inj_state[node] = [pkt, 0, best_vc, cls]
+            pkt, fidx, vc, cls = st
             if router.free_space(router.local_port, vc, buf_size) <= 0:
                 self.injection_stalls += 1
                 continue
@@ -249,14 +270,14 @@ class Network(BaseNetwork):
             self.flit_injections[node] += 1
             fidx += 1
             if fidx == pkt.size:
-                self.src_queues[node].popleft()
+                self.src_queues[node][cls].popleft()
                 self._inj_state[node] = None
-                if not self.src_queues[node]:
+                if not any(self.src_queues[node]):
                     done.append(node)
             else:
                 st[1] = fidx
         for node in done:
-            if not self.src_queues[node] and self._inj_state[node] is None:
+            if not any(self.src_queues[node]) and self._inj_state[node] is None:
                 self._active_sources.discard(node)
 
     def send_flit(self, ch: Channel, vc: int, pkt: Packet, fidx: int, now: int) -> None:

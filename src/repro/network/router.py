@@ -17,8 +17,10 @@ Per cycle, for each input VC whose head flit has cleared the pipeline:
    drains, as in Garnet.
 3. **SA** — input VCs with an allocated VC and downstream credit (ejection
    needs neither) request the switch; one arbiter per output port
-   (round-robin or age-based) picks winners, under one-flit-per-input-port
-   and one-flit-per-output-port crossbar constraints.
+   (round-robin, age-based, or the class-aware priority/weighted family —
+   the packet's ``traffic_class`` rides through the VC buffers to here)
+   picks winners, under one-flit-per-input-port and
+   one-flit-per-output-port crossbar constraints.
 4. **ST** — winners traverse: credits decrement, the freed input-buffer slot
    returns a credit upstream, tail flits release the VC.
 
@@ -59,6 +61,7 @@ class Router:
         "arbiters",
         "fault_mask",
         "_reqs",
+        "_notify_grant",
     )
 
     def __init__(
@@ -71,6 +74,7 @@ class Router:
         buf_size: int,
         router_delay: int,
         arbitration: str,
+        classes: "tuple | None" = None,
     ):
         topo = network.topology
         self.node = node
@@ -99,7 +103,12 @@ class Router:
             [None] * num_vcs if self.out_channels[p] is not None else None
             for p in range(self.num_ports)
         ]
-        self.arbiters = [build_arbiter(arbitration, nivcs) for _ in range(self.num_ports)]
+        self.arbiters = [
+            build_arbiter(arbitration, nivcs, classes) for _ in range(self.num_ports)
+        ]
+        # Only the weighted arbiter carries grant-advanced state; skipping
+        # the granted() call otherwise keeps the default hot path unchanged.
+        self._notify_grant = arbitration == "weighted"
         #: bitmask of currently-faulted output ports (maintained by the
         #: network's FaultState; 0 on a healthy router)
         self.fault_mask = 0
@@ -205,6 +214,7 @@ class Router:
         # input port per cycle.
         used_inputs = 0  # bitmask over input ports
         num_vcs = self.num_vcs
+        notify = self._notify_grant
         for op in active_ports:
             requests = reqs[op]
             while requests:
@@ -217,6 +227,8 @@ class Router:
                     continue
                 used_inputs |= in_port_bit
                 self._traverse(winner[0], now)
+                if notify:
+                    self.arbiters[op].granted(winner[1])
                 break
             reqs[op].clear()
 

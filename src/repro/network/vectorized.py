@@ -48,6 +48,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..classes import inject_order
 from ..config import NetworkConfig
 from ..routing.registry import build_routing
 from ..topology.mesh import KAryNCube
@@ -128,6 +129,28 @@ class VectorizedNetwork(BaseNetwork):
         self._age = config.arbitration == "age"
         self._used = np.zeros((N, P), dtype=bool)  # SA input-port scoreboard
 
+        # -- traffic classes / class-aware arbitration ---------------------
+        # Class-aware arbiters read per-class priority (and weight) from the
+        # registry; class indices beyond it clamp to the last class, the
+        # same rule the object arbiters apply.
+        classes = config.classes
+        C = self._C = len(classes)
+        self._cls_prio = np.array([c.priority for c in classes], dtype=np.int64)
+        self._prio_arb = config.arbitration == "priority"
+        self._wfq = config.arbitration == "weighted"
+        if self._wfq:
+            from math import lcm
+
+            base = lcm(*(c.weight for c in classes))
+            self._wstep = np.array(
+                [base // c.weight for c in classes], dtype=np.int64
+            )
+            # Virtual clocks per (router, output port, class) — the exact
+            # integer state of one WeightedArbiter per output port.  Clocks
+            # advance only after grants are fixed (mirroring granted()), so
+            # the cycle's single sort order replays every per-port pick.
+            self._wvt = np.zeros((N, P, C), dtype=np.int64)
+
         # Ring-buffer flit FIFOs, one row per input VC.
         self._f_pkt = np.zeros((NIVC, D), dtype=np.int64)
         self._f_fidx = np.zeros((NIVC, D), dtype=np.int64)
@@ -166,12 +189,20 @@ class VectorizedNetwork(BaseNetwork):
         self._p_phase = np.zeros(cap, dtype=np.int64)
         self._p_inter = np.zeros(cap, dtype=np.int64)
         self._p_hops = np.zeros(cap, dtype=np.int64)
+        self._p_cls = np.zeros(cap, dtype=np.int64)  # clamped arbitration class
         self._p_obj: list[Optional[Packet]] = [None] * cap
         self._free = list(range(cap - 1, -1, -1))
 
         # -- source queues -------------------------------------------------
-        self._queues: list[deque] = [deque() for _ in range(N)]
-        self._qhead = np.full(N, -1, dtype=np.int64)  # slot of queue front
+        # Per-class FIFOs per node, drained in descending-priority order
+        # (packet-boundary preemption), mirroring Network.src_queues.
+        # _qhead caches the slot the priority walk would pick next; it is
+        # refreshed on every offer/pop so _inject_all reads it vectorized.
+        self._inject_order = inject_order(classes)
+        self._queues: list[list[deque]] = [
+            [deque() for _ in range(C)] for _ in range(N)
+        ]
+        self._qhead = np.full(N, -1, dtype=np.int64)  # slot of next pick
         self._inj_slot = np.full(N, -1, dtype=np.int64)  # streaming packet
         self._inj_fidx = np.zeros(N, dtype=np.int64)
         self._inj_vc = np.zeros(N, dtype=np.int64)
@@ -222,11 +253,12 @@ class VectorizedNetwork(BaseNetwork):
         self._p_phase[s] = packet.phase
         self._p_inter[s] = -1 if packet.intermediate is None else packet.intermediate
         self._p_hops[s] = 0
+        c = packet.traffic_class
+        c = c if c < self._C else self._C - 1
+        self._p_cls[s] = c
         self._p_obj[s] = packet
-        q = self._queues[packet.src]
-        if not q:
-            self._qhead[packet.src] = s
-        q.append(s)
+        self._queues[packet.src][c].append(s)
+        self._refresh_qhead(packet.src)
         if packet.src not in self._active_sources:
             self._active_sources.add(packet.src)
             self._act_dirty = True
@@ -278,6 +310,15 @@ class VectorizedNetwork(BaseNetwork):
     # ------------------------------------------------------------------
     # packet slots
     # ------------------------------------------------------------------
+    def _refresh_qhead(self, node: int) -> None:
+        """Point ``_qhead[node]`` at the first packet in priority order."""
+        for cls in self._inject_order:
+            q = self._queues[node][cls]
+            if q:
+                self._qhead[node] = q[0]
+                return
+        self._qhead[node] = -1
+
     def _alloc_slot(self) -> int:
         if not self._free:
             self._grow()
@@ -289,6 +330,7 @@ class VectorizedNetwork(BaseNetwork):
         for name in (
             "_p_src", "_p_dst", "_p_size", "_p_create", "_p_inject",
             "_p_deliver", "_p_pid", "_p_phase", "_p_inter", "_p_hops",
+            "_p_cls",
         ):
             setattr(self, name, np.concatenate([getattr(self, name), ext]))
         self._p_obj.extend([None] * old)
@@ -370,12 +412,11 @@ class VectorizedNetwork(BaseNetwork):
             self.flit_injections[s] += 1
             self._inj_fidx[s] = f + 1
             done = (f + 1) == self._p_size[slots]
-            for nd in s[done].tolist():
-                q = self._queues[nd]
-                q.popleft()
-                self._qhead[nd] = q[0] if q else -1
+            for nd, slot in zip(s[done].tolist(), slots[done].tolist()):
+                self._queues[nd][self._p_cls[slot]].popleft()
+                self._refresh_qhead(nd)
                 self._inj_slot[nd] = -1
-                if not q:
+                if self._qhead[nd] < 0:
                     self._active_sources.discard(nd)
                     self._act_dirty = True
         for nd in empty_nodes.tolist():
@@ -603,9 +644,10 @@ class VectorizedNetwork(BaseNetwork):
         The object router's per-port retry loop (pick a winner, drop it if
         its input port is already used, repick) has a closed form: picks
         happen in arbitration order — round-robin cyclic order from the
-        cycle-start pointer, or age order — and the grant goes to the first
-        request in that order whose input port is free, the pointer
-        advancing on every consulted pick exactly as ``Arbiter.pick`` does.
+        cycle-start pointer, or the pure key order of the age / priority /
+        weighted arbiters — and the grant goes to the first request in that
+        order whose input port is free, the round-robin pointer advancing
+        on every consulted pick exactly as ``Arbiter.pick`` does.
         Output ports are visited in first-requester order per router, so
         grouping requests per (router, port) and walking groups in
         per-router rank rounds arbitrates every router concurrently with a
@@ -633,13 +675,30 @@ class VectorizedNetwork(BaseNetwork):
         rnode = req_g // PV
         li = req_g % PV
         key = rnode * P + rop
-        age = self._age
-        if age:
-            hs = self._f_pkt[req_g, self._f_head[req_g]]
-            order = np.lexsort((li, self._p_pid[hs], self._p_create[hs], key))
-        else:
+        # Round-robin is the only arbiter whose state mutates *during*
+        # arbitration (the pointer advances per consulted pick); the other
+        # three are pure functions of cycle-start state, so one lexsort per
+        # cycle reproduces every per-port pick sequence exactly: age by
+        # (create, pid, ivc), priority by (-prio, create, pid, ivc),
+        # weighted by (vt, -prio, create, pid, ivc) with the clocks frozen
+        # until grants are fixed (see WeightedArbiter.granted).
+        rr = not (self._age or self._prio_arb or self._wfq)
+        if rr:
             kr = (li - self._ptr[rnode, rop]) % PV
             order = np.argsort(key * PV + kr)  # (key, kr) pairs are unique
+        else:
+            hs = self._f_pkt[req_g, self._f_head[req_g]]
+            pid = self._p_pid[hs]
+            create = self._p_create[hs]
+            if self._age:
+                order = np.lexsort((li, pid, create, key))
+            else:
+                negp = -self._cls_prio[self._p_cls[hs]]
+                if self._prio_arb:
+                    order = np.lexsort((li, pid, create, negp, key))
+                else:
+                    vt = self._wvt[rnode, rop, self._p_cls[hs]]
+                    order = np.lexsort((li, pid, create, negp, vt, key))
         g_s = req_g[order]
         sk = key[order]
         li_s = li[order]
@@ -682,7 +741,7 @@ class VectorizedNetwork(BaseNetwork):
             ipw = ip_s[pos]
             nd = gnode[gidx]
             free = ~used[nd, ipw]
-            if not age:
+            if rr:
                 # pick() consults (and advances) the pointer whenever two
                 # or more requests remain in the group
                 consult = sz - a_t >= 2
@@ -702,6 +761,17 @@ class VectorizedNetwork(BaseNetwork):
         grants = np.concatenate(parts) if parts else _EMPTY_I64
         if grants.size:
             grants.sort()
+            if self._wfq:
+                # Advance the granted classes' virtual clocks exactly as
+                # Router.step calls granted() once per traversal (ejection
+                # grants included).  Read heads before _st pops them.
+                gh = self._f_pkt[grants, self._f_head[grants]]
+                gc = self._p_cls[gh]
+                np.add.at(
+                    self._wvt,
+                    (grants // PV, self._ivc_port[grants], gc),
+                    self._wstep[gc],
+                )
             self._st(grants, now)
 
     def _st(self, g: np.ndarray, now: int) -> None:

@@ -5,9 +5,10 @@ every configuration it accepts produces records *bit-identical* to the
 object backend's — not statistically close, identical.  This suite enforces
 the contract property-style: randomized configurations drawn with stdlib
 ``random`` from the full supported space (topology x routing x arbitration
+— the class-aware priority/weighted family included — x traffic classes
 x VC count x buffer depth x traffic x load x seed), both backends run on
-each, and the full record — every per-packet latency included — compared
-for equality.  The generator is seeded, so a failure is reproducible; on
+each, and the full record — every per-packet latency and class id included
+— compared for equality.  The generator is seeded, so a failure is reproducible; on
 mismatch the harness greedily shrinks the config toward the simplest one
 that still fails and reports it, which is what you paste into a repro.
 
@@ -55,6 +56,8 @@ def openloop_record(cfg: NetworkConfig, rate: float) -> dict:
         "saturated": res.saturated,
         "num_measured": res.num_measured,
         "latencies": res.latencies.tolist(),
+        "class_ids": res.class_ids.tolist(),
+        "per_class_throughput": res.per_class_throughput.tolist(),
         "per_node": [
             None if math.isnan(x) else x for x in res.per_node_latency.tolist()
         ],
@@ -92,10 +95,19 @@ def draw_config(rng: random.Random) -> tuple[dict, float]:
         vc_buffer_size=rng.choice((1, 2, 4)),
         router_delay=rng.choice((1, 1, 2)),
         routing=routing,
-        arbitration=rng.choice(("round_robin", "age")),
+        arbitration=rng.choice(("round_robin", "age", "priority", "weighted")),
         link_delay=rng.choice((1, 1, 2)),
         packet_size=rng.choice(("single", "bimodal")),
         traffic=traffic,
+        classes=rng.choice(
+            (
+                None,  # default single class
+                None,
+                "user+os:priority=1",
+                "user:share=3:weight=3+os:priority=1",
+                "a:weight=1+b:weight=2:priority=1+c:weight=4:priority=2",
+            )
+        ),
         dateline=(
             rng.choice(("balanced", "strict"))
             if topology in ("torus", "ring")
@@ -112,6 +124,7 @@ _SHRINK = {
     "routing": "dor",
     "traffic": "uniform_random",
     "packet_size": "single",
+    "classes": None,
     "arbitration": "round_robin",
     "dateline": "balanced",
     "router_delay": 1,
@@ -185,6 +198,13 @@ class TestRandomizedEquivalence:
         for kw in (
             dict(k=4, n=2, seed=7),
             dict(topology="torus", k=4, n=2, num_vcs=4, seed=3),
+            dict(
+                k=4,
+                n=2,
+                arbitration="priority",
+                classes="user+os:priority=1",
+                seed=5,
+            ),
         ):
             results = {}
             for backend in NETWORK_BACKENDS:

@@ -105,6 +105,35 @@ class TestTopologyGolden:
         assert digest(res.per_node_latency) == "fcb8ce3ed1b1f3ab"
 
 
+class TestTrafficClassGolden:
+    """2-class strict-priority mesh, pinned for both backends.
+
+    Captured from the object backend at the commit introducing first-class
+    traffic classes; both backends must reproduce every per-packet latency
+    and class id bit-exactly, including the per-class summary views.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_two_class_priority_mesh(self, backend):
+        cfg = NetworkConfig(
+            k=4,
+            n=2,
+            seed=7,
+            backend=backend,
+            arbitration="priority",
+            classes="user:share=3+os:priority=1",
+        )
+        res = OpenLoopSimulator(cfg, warmup=200, measure=400, drain_limit=4000).run(0.3)
+        assert res.num_measured == 1978
+        assert res.avg_latency == 6.983822042467138
+        assert res.throughput == 0.3078125
+        assert res.num_classes == 2
+        assert res.per_class_avg_latency.tolist() == [7.06, 6.7447698744769875]
+        assert res.per_class_throughput.tolist() == [0.234375, 0.0746875]
+        assert digest(res.latencies) == "53d526892db94336"
+        assert digest(res.class_ids) == "6bb11aff0dad55bc"
+
+
 class TestClosedLoopGolden:
     def test_baseline_batch(self, cfg):
         res = BatchSimulator(cfg, batch_size=30, max_outstanding=2).run()
