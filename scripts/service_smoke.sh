@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the distributed sweep service, exercised through the
+# CLI exactly as a user would: start a controller and two workers, submit a
+# sweep, SIGKILL one worker mid-run, and assert that
+#
+#   1. the run completes with a clean health summary (no failed points), and
+#   2. the remote records are bit-identical (modulo wall_seconds) to the
+#      same sweep executed through the local process-pool path.
+#
+# The deterministic kill-mid-lease variants live in tests/test_chaos.py;
+# this script checks the shipped serve/worker/submit entry points wire the
+# same machinery together.
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-7431}"
+TMP="$(mktemp -d)"
+cleanup() {
+    kill "$(jobs -p)" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+SWEEP_ARGS=(--k 4 --warmup 200 --measure 600
+            --rates 0.05,0.10,0.15,0.20 --axis router-delay=1,2)
+
+echo "== local baseline =="
+python -m repro sweep "${SWEEP_ARGS[@]}" --journal "$TMP/local.jsonl" \
+    >/dev/null
+
+echo "== controller + 2 workers on port $PORT =="
+python -m repro serve --port "$PORT" --heartbeat-timeout 5 \
+    --fallback-after 60 &
+sleep 1
+python -m repro worker "127.0.0.1:$PORT" --name smoke-a 2>/dev/null &
+python -m repro worker "127.0.0.1:$PORT" --name smoke-b 2>/dev/null &
+WORKER_B=$!
+
+echo "== submit, killing worker smoke-b after the first record lands =="
+python -m repro submit "127.0.0.1:$PORT" "${SWEEP_ARGS[@]}" \
+    --journal "$TMP/remote.jsonl" >/dev/null 2>"$TMP/health.txt" &
+SUBMIT=$!
+for _ in $(seq 150); do
+    grep -qs '"index"' "$TMP/remote.jsonl" && break
+    sleep 0.2
+done
+kill -9 "$WORKER_B" 2>/dev/null || true
+wait "$SUBMIT"
+
+echo "== health summary =="
+cat "$TMP/health.txt"
+grep -q "8/8 ok" "$TMP/health.txt"
+! grep -q "failed" "$TMP/health.txt"
+
+python - "$TMP/local.jsonl" "$TMP/remote.jsonl" <<'PY'
+import json
+import sys
+
+
+def records(path):
+    out = {}
+    for line in open(path):
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if "index" not in obj:  # fingerprint header
+            continue
+        out[obj["index"]] = {
+            k: v for k, v in obj["record"].items() if k != "wall_seconds"
+        }
+    return out
+
+
+local, remote = records(sys.argv[1]), records(sys.argv[2])
+assert len(local) == 8, f"local baseline incomplete: {len(local)}/8"
+assert local == remote, (
+    f"records differ: {len(local)} local vs {len(remote)} remote, "
+    f"mismatched indices: "
+    f"{sorted(i for i in local if remote.get(i) != local[i])}"
+)
+print(f"service smoke OK: {len(local)} records bit-identical to local path")
+PY

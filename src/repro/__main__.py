@@ -11,6 +11,9 @@ Examples::
     python -m repro batch -b 100 -m 1 --nar 0.05 --reply prob:20:300:0.1
     python -m repro cmp --benchmark lu --router-delay 4 --clock 75mhz
     python -m repro characterize --benchmark all
+    python -m repro serve --port 7421 --cache &
+    python -m repro worker localhost:7421 &
+    python -m repro submit localhost:7421 --rates 0.05,0.2
 
 Every command accepts the network knobs of Table I (``--topology``,
 ``--k``, ``--num-vcs``, ``--vc-buffer-size``, ``--router-delay``,
@@ -285,21 +288,43 @@ def _cmd_sweep(args) -> int:
         _openloop_runner, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
     )
     try:
-        records = run_sweep(
-            cfg,
-            axes,
-            runner,
-            extra_axes={"rate": rates},
-            n_workers=args.workers,
-            journal=args.journal,
-            resume=args.resume,
-            progress=_print_progress if args.progress else None,
-            point_timeout=args.point_timeout,
-            max_retries=args.max_retries,
-            cache=cache,
-        )
+        if getattr(args, "remote", None):
+            from .service import run_remote_sweep
+
+            # The controller owns execution: pool width, point timeouts,
+            # and the shared cache are its configuration, not the client's.
+            records = run_remote_sweep(
+                args.remote,
+                cfg,
+                axes,
+                runner,
+                extra_axes={"rate": rates},
+                journal=args.journal,
+                resume=args.resume,
+                resume_force=args.force_resume,
+                progress=_print_progress if args.progress else None,
+                max_retries=args.max_retries,
+            )
+        else:
+            records = run_sweep(
+                cfg,
+                axes,
+                runner,
+                extra_axes={"rate": rates},
+                n_workers=args.workers,
+                journal=args.journal,
+                resume=args.resume,
+                resume_force=args.force_resume,
+                progress=_print_progress if args.progress else None,
+                point_timeout=args.point_timeout,
+                max_retries=args.max_retries,
+                cache=cache,
+            )
     except ValueError as exc:  # bad n_workers, journal/axes mismatch, ...
         print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, RuntimeError) as exc:  # remote mode: refused/error reply
+        print(f"service error: {exc}", file=sys.stderr)
         return 2
     columns = list(axes) + ["rate", "latency", "throughput", "saturated"]
     if any(r.get("failed") for r in records):
@@ -436,6 +461,67 @@ def _cmd_bench(args) -> int:
     )
 
 
+def _cmd_submit(args) -> int:
+    # ``repro submit HOST:PORT`` is ``repro sweep --remote HOST:PORT`` with
+    # the local-executor knobs pinned off; one implementation, two spellings.
+    args.remote = args.address
+    args.workers = 1
+    args.point_timeout = None
+    args.cache = None
+    return _cmd_sweep(args)
+
+
+def _cmd_serve(args) -> int:
+    from .core.cache import default_cache_dir
+    from .service import Controller, ControllerServer, ServiceOptions
+
+    cache = None
+    if args.cache is not None:
+        cache = args.cache or default_cache_dir()
+    options = ServiceOptions(
+        lease_seconds=args.lease_seconds,
+        heartbeat_timeout=args.heartbeat_timeout,
+        quarantine_after=args.quarantine_after,
+        quarantine_seconds=args.quarantine_seconds,
+        fallback_after=None if args.no_fallback else args.fallback_after,
+        fallback_workers=args.fallback_workers,
+    )
+    server = ControllerServer(
+        Controller(options, cache=cache), host=args.host, port=args.port
+    )
+    server.start()
+    host, port = server.address
+    print(f"sweep service on {host}:{port}" + (f" (cache: {cache})" if cache else ""))
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .service import Worker, parse_address
+
+    host, port = parse_address(args.address)
+    worker = Worker(
+        host,
+        port,
+        name=args.name,
+        max_points=args.max_points,
+        max_idle=args.max_idle,
+        log=lambda line: print(f"worker: {line}", file=sys.stderr),
+    )
+    try:
+        done = worker.run()
+    except KeyboardInterrupt:
+        done = worker.points_done
+    print(f"worker executed {done} point{'s' if done != 1 else ''}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from .core.cache import (
         ResultCache,
@@ -530,6 +616,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip points already in --journal instead of starting fresh",
+    )
+    p.add_argument(
+        "--force-resume",
+        action="store_true",
+        help="resume even when the journal's sweep fingerprint (config x "
+        "axes x code version) no longer matches",
+    )
+    p.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the sweep on the distributed service at this address "
+        "instead of locally (see 'repro serve' / 'repro worker')",
     )
     p.add_argument(
         "--progress", action="store_true", help="print per-point rate/ETA to stderr"
@@ -655,6 +754,119 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 3.0)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="run the distributed sweep-service controller"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421, help="0 = ephemeral")
+    p.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="shared content-addressed result store: hits are answered "
+        "without dispatching, worker results are written back "
+        "(default dir: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=60.0,
+        help="seconds a worker owns a point before it is re-queued (default 60)",
+    )
+    p.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        help="seconds of worker silence before its leases re-queue (default 10)",
+    )
+    p.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        help="consecutive lease failures before a worker is quarantined",
+    )
+    p.add_argument(
+        "--quarantine-seconds",
+        type=float,
+        default=30.0,
+        help="seconds a quarantined worker is refused new leases",
+    )
+    p.add_argument(
+        "--fallback-after",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="run queued work on the controller itself after this long with "
+        "no live workers (default 15)",
+    )
+    p.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="never execute locally; queued work waits for workers forever",
+    )
+    p.add_argument(
+        "--fallback-workers",
+        type=int,
+        default=1,
+        help="process-pool size of the local fallback executor (default 1)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("worker", help="run one sweep-service worker daemon")
+    p.add_argument("address", metavar="HOST:PORT", help="controller address")
+    p.add_argument("--name", default=None, help="worker name (default: host-derived)")
+    p.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="exit after executing this many points (batch schedulers)",
+    )
+    p.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long with no work available",
+    )
+    p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "submit", help="submit a sweep to a running service (remote 'sweep')"
+    )
+    openloop_args(p)
+    p.add_argument("address", metavar="HOST:PORT", help="controller address")
+    p.add_argument("--rates", required=True, help="comma-separated offered loads")
+    p.add_argument(
+        "--axis",
+        action="append",
+        type=_parse_axis,
+        metavar="NAME=V1,V2,...",
+        help="sweep a config field too (repeatable)",
+    )
+    p.add_argument("--journal", default=None, help="client-side JSON-lines checkpoint")
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already in --journal instead of starting fresh",
+    )
+    p.add_argument(
+        "--force-resume",
+        action="store_true",
+        help="resume even when the journal's sweep fingerprint mismatches",
+    )
+    p.add_argument(
+        "--progress", action="store_true", help="print per-point rate/ETA to stderr"
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="per-point transient-failure retry budget on the service",
+    )
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser(
         "cache", help="content-addressed result cache: stats, verify, gc"

@@ -45,21 +45,21 @@ module-level function, or :func:`functools.partial` over one).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
-import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from .. import rng
-from ..analysis.io import append_jsonl, read_jsonl
+from ..analysis.io import append_jsonl, canonical_json, read_jsonl
 from ..config import NetworkConfig
 from . import cache as result_cache
-from .resilience import SimulationStalled
+from .resilience import RetryPolicy, SimulationStalled
 
 __all__ = [
     "SweepPoint",
@@ -68,6 +68,8 @@ __all__ = [
     "SweepRecords",
     "enumerate_points",
     "run_sweep",
+    "sweep_fingerprint",
+    "check_journal_fingerprint",
 ]
 
 #: Seconds between pool polls; bounds timeout-detection latency.
@@ -143,6 +145,11 @@ class SweepHealth:
     #: points satisfied from / missed by the result cache (0/0 = no cache)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: service-mode counters: worker quarantine events, and completions for
+    #: leases that had already expired or been re-assigned (dropped — the
+    #: re-leased run's record is authoritative, and identical anyway).
+    quarantined: int = 0
+    stale_results: int = 0
 
     def summary(self) -> str:
         parts = [f"{self.ok}/{self.total} ok"]
@@ -156,6 +163,10 @@ class SweepHealth:
             parts.append(f"{self.retried} retries")
         if self.worker_deaths:
             parts.append(f"{self.worker_deaths} worker deaths")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantines")
+        if self.stale_results:
+            parts.append(f"{self.stale_results} stale results")
         if self.cache_hits or self.cache_misses:
             parts.append(f"{self.cache_hits}/{self.cache_hits + self.cache_misses} cache hits")
         if self.interrupted:
@@ -267,9 +278,70 @@ def _execute_point(
 
 
 def _backoff_seconds(attempt: int, retry_backoff: float) -> float:
-    """Capped exponential backoff with jitter for retry ``attempt`` (1-based)."""
-    base = min(retry_backoff * 2 ** (attempt - 1), _MAX_BACKOFF)
-    return base * (1.0 + 0.25 * random.random())
+    """Capped exponential backoff with jitter for retry ``attempt`` (1-based).
+
+    Kept as the unseeded historical entry point; the executor itself goes
+    through a :class:`~repro.core.resilience.RetryPolicy`, whose jitter can
+    be seeded (``run_sweep(seed_jitter=True)``).
+    """
+    return RetryPolicy(backoff=retry_backoff, max_backoff=_MAX_BACKOFF).delay(attempt)
+
+
+def sweep_fingerprint(
+    base: NetworkConfig,
+    axes: Mapping[str, Sequence[Any]],
+    extra_axes: Mapping[str, Sequence[Any]] | None = None,
+) -> str:
+    """Identity of one sweep: resolved base config × axes × code version.
+
+    The sha256 covers the base configuration, every axis (names and
+    values), and the code-version salt of the simulation hot paths — so a
+    journal written by one sweep is recognized (and a mismatched resume
+    refused) after the config, the axes, or the simulator itself changed.
+    The runner is deliberately *not* part of the identity: resuming with a
+    wrapped or instrumented runner that produces the same records is a
+    supported workflow (and the per-entry coordinate check still guards
+    the points themselves).
+    """
+    payload = {
+        "config": _jsonable(asdict(base)),
+        "axes": _jsonable({k: list(v) for k, v in dict(axes).items()}),
+        "extra_axes": _jsonable({k: list(v) for k, v in dict(extra_axes or {}).items()}),
+        "salt": result_cache.cache_salt(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def check_journal_fingerprint(journal, fingerprint: str, *, force: bool = False) -> None:
+    """Refuse to resume a journal recorded under a different fingerprint.
+
+    The header is the ``{"sweep": {...}}`` line a journaling sweep writes
+    first.  Journals from before fingerprints existed have no header and
+    resume as they always did; a mismatched header means the config, axes,
+    runner, or simulation code changed since the journal was written, and
+    mixing old records with new runs would corrupt the sweep silently —
+    fail with the reason instead, unless ``force`` explicitly overrides.
+    """
+    for entry in read_jsonl(journal):
+        header = entry.get("sweep")
+        if not isinstance(header, Mapping):
+            continue
+        recorded = header.get("fingerprint")
+        if recorded is not None and recorded != fingerprint and not force:
+            raise ValueError(
+                f"journal {journal} was written by a different sweep "
+                f"(fingerprint {str(recorded)[:12]}… != {fingerprint[:12]}…): "
+                "the config, axes, runner, or simulation code changed since "
+                "it was recorded; pass resume_force=True (CLI --force-resume) "
+                "to resume anyway, or start fresh with resume=False"
+            )
+        return
+
+
+def _journal_header(fingerprint: str, total: int) -> dict[str, Any]:
+    from .. import __version__
+
+    return {"sweep": {"fingerprint": fingerprint, "total": total, "version": __version__}}
 
 
 def _load_journal(journal, points: Sequence[SweepPoint]) -> dict[int, dict[str, Any]]:
@@ -331,8 +403,8 @@ def _run_pool(
     point_timeout: float | None,
     emit: Callable[[SweepPoint, dict[str, Any]], None],
     health: SweepHealth,
-    max_retries: int,
-    retry_backoff: float,
+    policy: RetryPolicy,
+    pending_attempts: Optional[Sequence[int]] = None,
 ) -> None:
     """Execute ``pending`` on a process pool, emitting records as they land.
 
@@ -356,8 +428,10 @@ def _run_pool(
       with backoff up to ``max_retries`` times.
     """
     # Queue entries are (point, attempt); ``delayed`` holds backoff retries
-    # as (ready_monotonic, point, attempt).
-    queue: deque[tuple[SweepPoint, int]] = deque((p, 0) for p in pending)
+    # as (ready_monotonic, point, attempt).  ``pending_attempts`` lets the
+    # service's local-fallback path resume points mid-retry-budget.
+    attempts = pending_attempts if pending_attempts is not None else [0] * len(pending)
+    queue: deque[tuple[SweepPoint, int]] = deque(zip(pending, attempts))
     delayed: list[tuple[float, SweepPoint, int]] = []
     inflight: dict[Future, tuple[SweepPoint, int, float]] = {}
     window = n_workers if point_timeout is not None else 2 * n_workers
@@ -367,11 +441,9 @@ def _run_pool(
         point: SweepPoint, attempt: int, record: dict[str, Any], *, now: float
     ) -> None:
         """Requeue a transient failure with backoff, or emit it as final."""
-        if attempt < max_retries:
+        if attempt < policy.max_retries:
             health.retried += 1
-            delayed.append(
-                (now + _backoff_seconds(attempt + 1, retry_backoff), point, attempt + 1)
-            )
+            delayed.append((now + policy.delay(attempt + 1), point, attempt + 1))
         else:
             emit(point, record)
 
@@ -432,7 +504,7 @@ def _run_pool(
                     break
                 except Exception as exc:  # e.g. unpicklable runner output
                     record = _failed_record(point, f"{type(exc).__name__}: {exc}")
-                if record.get("error_kind") in _TRANSIENT_KINDS:
+                if policy.is_transient(record.get("error_kind")):
                     retry_or_fail(point, attempt, record, now=now)
                 else:
                     emit(point, record)
@@ -487,11 +559,13 @@ def run_sweep(
     n_workers: int = 1,
     journal=None,
     resume: bool = False,
+    resume_force: bool = False,
     point_timeout: float | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
     derive_seeds: bool = True,
     max_retries: int = 2,
     retry_backoff: float = 0.25,
+    seed_jitter: bool = False,
     cache=None,
 ) -> SweepRecords:
     """Run ``runner`` over every sweep point; collect records in canonical order.
@@ -516,6 +590,16 @@ def run_sweep(
     and are written back on success only.  ``REPRO_NO_CACHE=1`` disables
     the cache regardless of this argument; records are bit-identical with
     the cache cold, warm, or off.
+
+    A journaling sweep writes a header line first — the sweep's
+    :func:`sweep_fingerprint` over config × axes × runner × code salt —
+    and a resume against a journal whose header differs fails with the
+    reason instead of silently mixing records; ``resume_force=True``
+    overrides the check (pre-header journals resume as they always did).
+    ``seed_jitter=True`` derives the retry backoff jitter from the sweep's
+    seed (via :func:`repro.rng.spawn`) instead of the process-global
+    :mod:`random`, making self-healing retry timelines deterministic; the
+    default keeps the historical unseeded jitter.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
@@ -531,13 +615,16 @@ def run_sweep(
     points = enumerate_points(base, axes, extra_axes, derive_seeds=derive_seeds)
     results: dict[int, dict[str, Any]] = {}
     by_index = {p.index: p for p in points}
+    fingerprint = sweep_fingerprint(base, axes, extra_axes)
     if journal is not None:
         if resume:
+            check_journal_fingerprint(journal, fingerprint, force=resume_force)
             results.update(_load_journal(journal, points))
             # Rewrite the journal with only the valid entries: a partial
             # trailing line left by a crash has no newline, and appending
             # straight after it would corrupt the next record.
             open(journal, "w").close()
+            append_jsonl(_journal_header(fingerprint, len(points)), journal)
             append_jsonl(
                 (
                     {
@@ -551,6 +638,7 @@ def run_sweep(
             )
         else:
             open(journal, "w").close()
+            append_jsonl(_journal_header(fingerprint, len(points)), journal)
     pending = [p for p in points if p.index not in results]
     health = SweepHealth(total=len(points))
 
@@ -641,18 +729,20 @@ def run_sweep(
     for point, record in cache_hit_records:
         emit(point, record)
 
+    policy = (
+        RetryPolicy.seeded(base.seed, max_retries=max_retries, backoff=retry_backoff)
+        if seed_jitter
+        else RetryPolicy(max_retries=max_retries, backoff=retry_backoff)
+    )
     try:
         if n_workers == 1:
             for point in pending:
                 record = _execute_point(runner, base, point)
                 attempt = 0
-                while (
-                    record.get("error_kind") in _TRANSIENT_KINDS
-                    and attempt < max_retries
-                ):
+                while policy.should_retry(record.get("error_kind"), attempt):
                     attempt += 1
                     health.retried += 1
-                    time.sleep(_backoff_seconds(attempt, retry_backoff))
+                    time.sleep(policy.delay(attempt))
                     record = _execute_point(runner, base, point)
                 emit(point, record)
         else:
@@ -664,8 +754,7 @@ def run_sweep(
                 point_timeout,
                 emit,
                 health,
-                max_retries,
-                retry_backoff,
+                policy,
             )
     except KeyboardInterrupt:
         # Flush the health summary so the journal tells the whole story;

@@ -32,6 +32,7 @@ cycle and allocates nothing from this module.
 
 from __future__ import annotations
 
+import random
 import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
@@ -47,6 +48,8 @@ __all__ = [
     "RandomLinkFaults",
     "FaultPlan",
     "FaultState",
+    "RetryPolicy",
+    "TRANSIENT_KINDS",
     "UNREACHABLE",
     "UnreachableDestination",
     "SimulationStalled",
@@ -56,6 +59,69 @@ __all__ = [
     "InvariantViolation",
     "InvariantChecker",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+#: ``error_kind`` values that are transient by nature and worth retrying:
+#: the point itself is deterministic, so only failures of the *executor* —
+#: a stalled run aborted by the watchdog, a dead worker process, an expired
+#: work lease, a dropped worker connection — can succeed on a re-run.
+TRANSIENT_KINDS = frozenset({"stalled", "worker_death", "lease_expired", "disconnect"})
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with jitter for transient point failures.
+
+    Shared by the process-pool sweep executor (:mod:`repro.core.parallel`)
+    and the distributed sweep service (:mod:`repro.service`): both retry
+    *transient* failures (see :data:`TRANSIENT_KINDS`) up to ``max_retries``
+    times, sleeping ``backoff * 2**(attempt-1)`` seconds (capped at
+    ``max_backoff``) times a jitter factor in ``[1, 1.25)`` between
+    attempts.  Deterministic runner exceptions are never retried — the same
+    config and seed would fail the same way.
+
+    ``rng`` selects the jitter source: ``None`` (the default) draws from the
+    process-global :mod:`random` like the historical behaviour, while a
+    :class:`random.Random` instance makes the jitter — and therefore the
+    retry timeline — a pure function of its seed.  :meth:`seeded` builds a
+    policy whose jitter stream derives from a config seed via
+    :func:`repro.rng.spawn`, which is what makes self-healing tests
+    deterministic.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.25
+    max_backoff: float = 5.0
+    transient_kinds: frozenset = TRANSIENT_KINDS
+    rng: Optional[random.Random] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+
+    @classmethod
+    def seeded(cls, seed: int, *labels: object, **kwargs) -> "RetryPolicy":
+        """A policy whose jitter stream derives from ``seed`` and ``labels``."""
+        return cls(rng=random.Random(rng_mod.spawn(seed, "retry-jitter", *labels)), **kwargs)
+
+    def is_transient(self, kind: object) -> bool:
+        """True when ``kind`` names a failure worth retrying."""
+        return kind in self.transient_kinds
+
+    def should_retry(self, kind: object, attempt: int) -> bool:
+        """True when a failure of ``kind`` at 0-based ``attempt`` gets a retry."""
+        return self.is_transient(kind) and attempt < self.max_retries
+
+    def delay(self, attempt: int) -> float:
+        """Backoff sleep before retry ``attempt`` (1-based), jitter included."""
+        base = min(self.backoff * 2 ** (attempt - 1), self.max_backoff)
+        draw = self.rng.random() if self.rng is not None else random.random()
+        return base * (1.0 + 0.25 * draw)
 
 
 # ---------------------------------------------------------------------------

@@ -55,9 +55,11 @@ def sweep(
     n_workers: int = 1,
     journal=None,
     resume: bool = False,
+    resume_force: bool = False,
     point_timeout: float | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
     derive_seeds: bool = True,
+    seed_jitter: bool = False,
     cache=None,
 ) -> list[dict[str, Any]]:
     """Run ``runner`` over every configuration point; collect records.
@@ -84,8 +86,10 @@ def sweep(
         n_workers=n_workers,
         journal=journal,
         resume=resume,
+        resume_force=resume_force,
         point_timeout=point_timeout,
         progress=progress,
         derive_seeds=derive_seeds,
+        seed_jitter=seed_jitter,
         cache=cache,
     )

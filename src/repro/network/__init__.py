@@ -1,7 +1,7 @@
 """Cycle-level network-on-chip simulator (flits, VCs, credits)."""
 
 from .arbiters import AgeArbiter, Arbiter, RoundRobinArbiter, build_arbiter
-from .base import BaseNetwork, NetworkLike
+from .base import BackendUnsupported, BaseNetwork, NetworkLike
 from .factory import NETWORK_BACKENDS, build_network
 from .ideal import IdealNetwork
 from .links import TimeBuckets
@@ -20,6 +20,7 @@ __all__ = [
     "build_arbiter",
     "TimeBuckets",
     "Router",
+    "BackendUnsupported",
     "BaseNetwork",
     "NetworkLike",
     "Network",

@@ -29,7 +29,28 @@ import numpy as np
 
 from .packet import Packet
 
-__all__ = ["NetworkLike", "BaseNetwork"]
+__all__ = ["NetworkLike", "BaseNetwork", "BackendUnsupported"]
+
+
+class BackendUnsupported(ValueError):
+    """A backend rejecting, at construction, a feature it cannot reproduce.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` guards
+    keep working, and carries the pieces — backend, feature, suggested
+    alternative — structured, so CLIs and the sweep service can render
+    actionable messages instead of pattern-matching strings.
+    """
+
+    def __init__(
+        self, backend: str, feature: str, detail: str, *, suggestion: str = "object"
+    ) -> None:
+        self.backend = backend
+        self.feature = feature
+        self.suggestion = suggestion
+        super().__init__(
+            f"backend={backend!r} does not support {feature}: {detail}; "
+            f"use backend={suggestion!r} for this configuration"
+        )
 
 
 @runtime_checkable

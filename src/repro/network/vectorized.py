@@ -53,7 +53,7 @@ from ..config import NetworkConfig
 from ..routing.registry import build_routing
 from ..topology.mesh import KAryNCube
 from ..topology.registry import build_topology
-from .base import BaseNetwork
+from .base import BackendUnsupported, BaseNetwork
 from .packet import Packet
 
 __all__ = ["VectorizedNetwork"]
@@ -71,15 +71,19 @@ class VectorizedNetwork(BaseNetwork):
                 "the ideal network is contention-free; use IdealNetwork"
             )
         if config.faults is not None:
-            raise ValueError(
-                "the vectorized backend does not support fault injection; "
-                "use backend='object' for faulted configs"
+            raise BackendUnsupported(
+                "vectorized",
+                "fault injection (config.faults)",
+                "the fault layer hooks per-object router internals that the "
+                "struct-of-arrays model does not expose",
             )
         if config.credit_delay == 0:
-            raise ValueError(
-                "the vectorized backend requires credit_delay >= 1 "
-                "(zero-delay credits couple routers within a cycle); "
-                "use backend='object'"
+            raise BackendUnsupported(
+                "vectorized",
+                "credit_delay=0",
+                "zero-delay credit return couples routers within a cycle, "
+                "which the whole-network array phases cannot replay "
+                "bit-exactly (credit_delay >= 1 keeps routers decoupled)",
             )
         self.config = config
         self.topology = build_topology(config)

@@ -1,0 +1,248 @@
+"""Client side of the sweep service: submit, poll, journal, resume.
+
+:func:`run_remote_sweep` mirrors :func:`repro.core.parallel.run_sweep` —
+same axes/extra-axes enumeration, same journal format (fingerprint header
+included), same resume and progress contracts, same
+:class:`~repro.core.parallel.SweepRecords` return — but execution happens
+on whatever fleet is connected to the controller at ``HOST:PORT``.
+
+The client enumerates the sweep points *locally* and ships explicit
+``(index, overrides, kwargs, seed)`` tuples, rather than shipping the axes
+and letting the controller enumerate: the per-point derived seeds
+(:func:`repro.rng.sweep_seed`) hash the coordinate *values*, and a JSON
+round-trip can change value types (tuples to lists) — deriving on the far
+side could silently disagree with a local run.  Shipping the derived seed
+pins the bit-identical contract at the protocol boundary.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import asdict
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ..analysis.io import append_jsonl
+from ..config import NetworkConfig
+from ..core import cache as result_cache
+from ..core.parallel import (
+    SweepHealth,
+    SweepProgress,
+    SweepRecords,
+    _jsonable,
+    _journal_header,
+    _load_journal,
+    check_journal_fingerprint,
+    enumerate_points,
+    sweep_fingerprint,
+)
+from .protocol import MessageStream, parse_address
+from .worker import importable_name
+
+__all__ = ["ServiceClient", "run_remote_sweep"]
+
+
+class ServiceClient:
+    """A thin RPC handle on the controller (submit / poll / info)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = MessageStream(sock)
+        reply = self._stream.rpc({"type": "hello", "role": "client"})
+        if reply.get("type") != "welcome":
+            self._stream.close()
+            raise ConnectionError(f"controller refused hello: {reply}")
+
+    def _rpc(self, msg: Mapping[str, Any]) -> dict[str, Any]:
+        reply = self._stream.rpc(msg)
+        if reply.get("type") == "error":
+            raise RuntimeError(f"service error: {reply.get('error')}")
+        return reply
+
+    def submit(
+        self,
+        base: Mapping[str, Any],
+        points: Sequence[Mapping[str, Any]],
+        runner_spec: Mapping[str, Any],
+        *,
+        options: Optional[Mapping[str, Any]] = None,
+        label: str = "",
+    ) -> dict[str, Any]:
+        return self._rpc(
+            {
+                "type": "submit",
+                "base": dict(base),
+                "points": list(points),
+                "runner": dict(runner_spec),
+                "options": dict(options or {}),
+                "label": label,
+            }
+        )
+
+    def poll(self, job_id: str, since: int = 0) -> dict[str, Any]:
+        return self._rpc({"type": "poll", "job_id": job_id, "since": since})
+
+    def info(self) -> dict[str, Any]:
+        return self._rpc({"type": "info"})
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_remote_sweep(
+    address: str,
+    base: NetworkConfig,
+    axes: Mapping[str, Sequence[Any]],
+    runner: Callable[..., Mapping[str, Any]],
+    *,
+    extra_axes: Mapping[str, Sequence[Any]] | None = None,
+    journal=None,
+    resume: bool = False,
+    resume_force: bool = False,
+    progress: Callable[[SweepProgress], None] | None = None,
+    derive_seeds: bool = True,
+    max_retries: int = 2,
+    retry_backoff: float = 0.25,
+    seed_jitter: bool = True,
+    poll_interval: float = 0.2,
+    label: str = "",
+) -> SweepRecords:
+    """Run a sweep on the service at ``address`` (``"host:port"``).
+
+    The signature and semantics mirror :func:`repro.core.parallel.run_sweep`
+    minus the local-executor knobs (``n_workers``, ``point_timeout``,
+    ``cache`` — the *controller* owns the shared cache).  Records come
+    back bit-identical to a serial run (modulo ``wall_seconds``), in
+    canonical enumeration order, with the controller's
+    :class:`~repro.core.parallel.SweepHealth` attached.  ``seed_jitter``
+    defaults to True here — deterministic retry timelines are the point
+    of a self-healing service — where the local driver defaults to the
+    historical unseeded jitter.
+
+    ``journal``/``resume`` checkpoint on the *client*: each record is
+    appended as it streams back, so a client killed mid-sweep resumes by
+    re-submitting only the missing points (the service's cache typically
+    answers the overlap without re-running it).
+    """
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
+    host, port = parse_address(address)
+    spec = result_cache.runner_spec(runner)
+    if importable_name(spec) is None:
+        raise ValueError(
+            "remote sweeps need an importable module-level runner (or a "
+            "functools.partial over one with keyword bindings only); "
+            f"{runner!r} has no dotted name the workers could import"
+        )
+    points = enumerate_points(base, axes, extra_axes, derive_seeds=derive_seeds)
+    by_index = {p.index: p for p in points}
+    fingerprint = sweep_fingerprint(base, axes, extra_axes)
+    results: dict[int, dict[str, Any]] = {}
+    if journal is not None:
+        if resume:
+            check_journal_fingerprint(journal, fingerprint, force=resume_force)
+            results.update(_load_journal(journal, points))
+            open(journal, "w").close()
+            append_jsonl(_journal_header(fingerprint, len(points)), journal)
+            append_jsonl(
+                (
+                    {
+                        "index": index,
+                        "point": _jsonable(by_index[index].coords),
+                        "record": record,
+                    }
+                    for index, record in sorted(results.items())
+                ),
+                journal,
+            )
+        else:
+            open(journal, "w").close()
+            append_jsonl(_journal_header(fingerprint, len(points)), journal)
+    resumed_ok = sum(1 for r in results.values() if not r.get("failed"))
+    resumed_failed = len(results) - resumed_ok
+
+    payload = [
+        {
+            "index": p.index,
+            "overrides": _jsonable(p.overrides),
+            "kwargs": _jsonable(p.kwargs),
+            "seed": p.seed,
+        }
+        for p in points
+        if p.index not in results
+    ]
+    start = time.monotonic()
+    health = SweepHealth(total=len(points))
+    with ServiceClient(host, port) as client:
+        if payload:
+            submitted = client.submit(
+                asdict(base),
+                payload,
+                spec,
+                options={
+                    "max_retries": max_retries,
+                    "retry_backoff": retry_backoff,
+                    "seed_jitter": seed_jitter,
+                },
+                label=label,
+            )
+            job_id = submitted["job_id"]
+            fetched = 0
+            completed_in_run = 0
+            try:
+                while True:
+                    status = client.poll(job_id, since=fetched)
+                    for item in status["records"]:
+                        index, record = int(item["index"]), item["record"]
+                        results[index] = record
+                        fetched += 1
+                        completed_in_run += 1
+                        if journal is not None:
+                            append_jsonl(
+                                {
+                                    "index": index,
+                                    "point": _jsonable(by_index[index].coords),
+                                    "record": record,
+                                },
+                                journal,
+                            )
+                        if progress is not None:
+                            elapsed = time.monotonic() - start
+                            rate = completed_in_run / elapsed if elapsed > 0 else 0.0
+                            left = len(points) - len(results)
+                            progress(
+                                SweepProgress(
+                                    done=len(results),
+                                    total=len(points),
+                                    failed=sum(
+                                        1 for r in results.values() if r.get("failed")
+                                    ),
+                                    elapsed=elapsed,
+                                    rate=rate,
+                                    eta=left / rate if rate > 0 else float("inf"),
+                                )
+                            )
+                    if status["finished"]:
+                        health = SweepHealth(**status["health"])
+                        break
+                    time.sleep(poll_interval)
+            except KeyboardInterrupt:
+                # Mirror run_sweep: flush what we know so the journal tells
+                # the whole story; per-point records are already flushed,
+                # which is what makes resume=True after a Ctrl-C work.
+                health.interrupted = True
+                if journal is not None:
+                    append_jsonl({"health": asdict(health)}, journal)
+                raise
+    # Fold the resumed-journal points back into the totals, exactly as the
+    # local driver counts them.
+    health.total = len(points)
+    health.ok += resumed_ok
+    health.failed += resumed_failed
+    return SweepRecords((results[p.index] for p in points), health)

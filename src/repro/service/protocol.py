@@ -1,0 +1,163 @@
+"""Wire protocol of the sweep service: line-delimited JSON over TCP.
+
+One message per line, UTF-8 JSON objects with a ``"type"`` field, newline
+terminated.  The protocol is strictly request/reply and worker-initiated
+(workers *pull* work; the controller never opens connections), which keeps
+NAT'd and firewalled workers trivial and makes every peer's read loop a
+plain ``readline()``.
+
+Message types (``→`` request, ``←`` reply):
+
+========== =============================================================
+worker     ``hello`` → ``welcome`` · ``request`` → ``lease``/``idle`` ·
+           ``heartbeat`` → ``ok`` · ``result`` → ``ok``/``stale``
+client     ``hello`` → ``welcome`` · ``submit`` → ``submitted`` ·
+           ``poll`` → ``status`` · ``info`` → ``service``
+any        malformed input → ``error`` (connection stays up)
+========== =============================================================
+
+Robustness rules every peer follows:
+
+* a line over :data:`MAX_LINE_BYTES` is a protocol violation — the
+  connection is dropped rather than buffering unbounded garbage;
+* garbage JSON or a non-object line yields an ``error`` reply and the
+  connection survives (one bad frame must not kill a worker's leases);
+* EOF mid-stream is a disconnect, never an error to retry on the same
+  socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "MessageStream",
+    "ProtocolError",
+    "decode",
+    "encode",
+    "parse_address",
+]
+
+#: Bumped on incompatible wire changes; ``hello`` carries it both ways.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame.  A lease for a large config is a few KiB; 8 MiB
+#: leaves room for bulky poll replies while bounding a hostile or corrupt
+#: peer's memory impact.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A frame that violates the wire protocol (size, syntax, or shape)."""
+
+
+def _json_default(obj: Any) -> Any:
+    """Keep numpy scalars numeric on the wire (bit-exact floats)."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+def encode(msg: Mapping[str, Any]) -> bytes:
+    """One message as a newline-terminated UTF-8 JSON line."""
+    line = json.dumps(dict(msg), default=_json_default, separators=(",", ":"))
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds {MAX_LINE_BYTES}")
+    return data
+
+
+def decode(line: bytes | str) -> dict[str, Any]:
+    """Parse one frame; raises :class:`ProtocolError` on any violation."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"frame of {len(line)} bytes exceeds {MAX_LINE_BYTES}")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from None
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"frame is a JSON {type(msg).__name__}, not an object")
+    if not isinstance(msg.get("type"), str):
+        raise ProtocolError("frame has no string 'type' field")
+    return msg
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; bare port implies localhost."""
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", address
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ValueError(f"invalid service address {address!r}: port must be an integer")
+    if not (0 < port_num < 65536):
+        raise ValueError(f"invalid service address {address!r}: port out of range")
+    return host or "127.0.0.1", port_num
+
+
+class MessageStream:
+    """Framed messages over one socket, with a locked request/reply helper.
+
+    ``rpc`` holds a lock across the send/recv pair so a worker's heartbeat
+    thread and its main loop can share one connection without interleaving
+    replies — the protocol is strictly one reply per request, in order.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    def send(self, msg: Mapping[str, Any]) -> None:
+        self._sock.sendall(encode(msg))
+
+    def recv(self) -> Optional[dict[str, Any]]:
+        """The next message, or ``None`` on a clean EOF."""
+        line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            return None
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"peer sent a frame over {MAX_LINE_BYTES} bytes")
+        return decode(line)
+
+    def rpc(self, msg: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one request and return its reply; EOF is a ConnectionError."""
+        with self._lock:
+            self.send(msg)
+            reply = self.recv()
+        if reply is None:
+            raise ConnectionError("connection closed while awaiting reply")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "MessageStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -116,13 +116,16 @@ class TestCommands:
         ]
         assert main(argv) == 0
         first = capsys.readouterr().out
-        assert len(read_jsonl(journal)) == 4
+        # one fingerprint-header line plus one line per point
+        entries = read_jsonl(journal)
+        assert len([e for e in entries if "index" in e]) == 4
+        assert "fingerprint" in entries[0].get("sweep", {})
         # drop the last journal line, resume, and get the same table back
         lines = journal.read_text().splitlines()
         journal.write_text("\n".join(lines[:-1]) + "\n")
         assert main(argv + ["--resume"]) == 0
         assert capsys.readouterr().out == first
-        assert len(read_jsonl(journal)) == 4
+        assert len([e for e in read_jsonl(journal) if "index" in e]) == 4
 
     def test_sweep_resume_without_journal_errors(self, capsys):
         rc = main(["sweep", "--k", "4", "--rates", "0.05", "--resume"])

@@ -186,9 +186,10 @@ class TestCheckpointResume:
             BASE, GRID_AXES, seeded_runner, extra_axes=GRID_EXTRA, journal=journal
         )
         lines = journal.read_text().splitlines()
-        assert len(lines) == 16
-        # simulate a kill: 5 complete lines survive plus half of a sixth
-        journal.write_text("\n".join(lines[:5]) + "\n" + lines[5][: len(lines[5]) // 2])
+        assert len(lines) == 17  # fingerprint header + 16 records
+        assert "fingerprint" in lines[0]
+        # simulate a kill: header + 5 complete records survive plus half a sixth
+        journal.write_text("\n".join(lines[:6]) + "\n" + lines[6][: len(lines[6]) // 2])
 
         ran_dir = tmp_path / "ran"
         ran_dir.mkdir()
@@ -206,18 +207,37 @@ class TestCheckpointResume:
         assert strip_timing(resumed) == strip_timing(full)
         # only the 11 missing points were executed
         assert len(list(ran_dir.iterdir())) == 11
-        # and the journal is whole again
-        assert len(read_jsonl(journal)) == 16
+        # and the journal is whole again (header + 16 records)
+        assert sum(1 for e in read_jsonl(journal) if "index" in e) == 16
 
     def test_fresh_run_truncates_stale_journal(self, tmp_path):
         journal = tmp_path / "sweep.jsonl"
         run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
         run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
-        assert len(read_jsonl(journal)) == 2  # not appended twice
+        entries = read_jsonl(journal)
+        assert sum(1 for e in entries if "index" in e) == 2  # not appended twice
+        assert sum(1 for e in entries if "sweep" in e) == 1  # one header
 
     def test_resume_with_changed_axes_refused(self, tmp_path):
+        # The fingerprint header catches the change before any record mixing.
         journal = tmp_path / "sweep.jsonl"
         run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
+        with pytest.raises(ValueError, match="different sweep"):
+            run_sweep(
+                BASE,
+                {"router_delay": (4, 8)},
+                seeded_runner,
+                journal=journal,
+                resume=True,
+            )
+
+    def test_resume_pre_header_journal_checks_coordinates(self, tmp_path):
+        # Journals from before fingerprints existed have no header; the
+        # per-entry coordinate check still refuses cross-sweep mixing.
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
+        entries = [e for e in read_jsonl(journal) if "index" in e]
+        journal.write_text("\n".join(json.dumps(e) for e in entries) + "\n")
         with pytest.raises(ValueError, match="refusing to resume"):
             run_sweep(
                 BASE,
@@ -226,6 +246,36 @@ class TestCheckpointResume:
                 journal=journal,
                 resume=True,
             )
+
+    def test_force_resume_overrides_fingerprint_mismatch(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(BASE, {"router_delay": (1, 2)}, seeded_runner, journal=journal)
+        # Same axes, different base seed => different fingerprint, but the
+        # point *coordinates* are identical, so only the header catches it.
+        with pytest.raises(ValueError, match="different sweep"):
+            run_sweep(
+                BASE.with_(seed=99), {"router_delay": (1, 2)}, seeded_runner,
+                journal=journal, resume=True,
+            )
+        forced = run_sweep(
+            BASE.with_(seed=99), {"router_delay": (1, 2)}, seeded_runner,
+            journal=journal, resume=True, resume_force=True,
+        )
+        # Forced resume replays the journaled records untouched.
+        assert [r["seed_seen"] for r in forced] == [
+            e["record"]["seed_seen"] for e in read_jsonl(journal) if "index" in e
+        ]
+
+    def test_resume_with_wrapped_runner_allowed(self, tmp_path):
+        # The fingerprint deliberately excludes the runner: resuming with an
+        # instrumented wrapper over the same sweep is a supported workflow
+        # (exercised for real by test_resume_after_truncation above).
+        from repro.core.parallel import sweep_fingerprint
+
+        fp = sweep_fingerprint(BASE, GRID_AXES, GRID_EXTRA)
+        assert fp == sweep_fingerprint(BASE, GRID_AXES, GRID_EXTRA)
+        assert fp != sweep_fingerprint(BASE.with_(seed=2), GRID_AXES, GRID_EXTRA)
+        assert fp != sweep_fingerprint(BASE, {"router_delay": (1,)}, GRID_EXTRA)
 
     def test_resume_requires_journal(self):
         with pytest.raises(ValueError):
@@ -273,7 +323,7 @@ class TestProgress:
         journal = tmp_path / "sweep.jsonl"
         run_sweep(BASE, {"router_delay": (1, 2, 4)}, seeded_runner, journal=journal)
         lines = journal.read_text().splitlines()
-        journal.write_text("\n".join(lines[:2]) + "\n")
+        journal.write_text("\n".join(lines[:3]) + "\n")  # header + 2 records
         events: list[SweepProgress] = []
         run_sweep(
             BASE,
@@ -338,6 +388,39 @@ class TestTransientRetry:
         assert _backoff_seconds(1, 0.25) >= 0.25
         for attempt in range(1, 12):
             assert 0 < _backoff_seconds(attempt, 0.25) <= _MAX_BACKOFF * 1.25
+
+    def test_seeded_policy_jitter_deterministic(self):
+        from repro.core.resilience import RetryPolicy
+
+        a = RetryPolicy.seeded(7, backoff=0.25)
+        b = RetryPolicy.seeded(7, backoff=0.25)
+        assert [a.delay(i) for i in range(1, 6)] == [b.delay(i) for i in range(1, 6)]
+        c = RetryPolicy.seeded(8, backoff=0.25)
+        assert [a.delay(i) for i in range(1, 6)] != [c.delay(i) for i in range(1, 6)]
+        # default (unseeded) policies draw from global random: still bounded
+        d = RetryPolicy(backoff=0.25)
+        assert 0.25 <= d.delay(1) <= 0.25 * 1.25
+        assert not RetryPolicy(max_retries=2).should_retry("error", 0)
+        assert RetryPolicy(max_retries=2).should_retry("stalled", 1)
+        assert not RetryPolicy(max_retries=2).should_retry("stalled", 2)
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_seed_jitter_sweep_runs(self, tmp_path, n_workers):
+        # seed_jitter must not change any record, only the retry timeline.
+        runner = functools.partial(stall_once_runner, logdir=str(tmp_path / "a"))
+        (tmp_path / "a").mkdir()
+        seeded = run_sweep(
+            BASE, {"router_delay": (1, 2)}, runner,
+            n_workers=n_workers, max_retries=2, retry_backoff=0.01, seed_jitter=True,
+        )
+        (tmp_path / "b").mkdir()
+        runner_b = functools.partial(stall_once_runner, logdir=str(tmp_path / "b"))
+        plain = run_sweep(
+            BASE, {"router_delay": (1, 2)}, runner_b,
+            n_workers=n_workers, max_retries=2, retry_backoff=0.01,
+        )
+        assert strip_timing(seeded) == strip_timing(plain)
+        assert seeded.health.retried == plain.health.retried == 2
 
     @pytest.mark.parametrize("n_workers", [1, 2])
     def test_stall_retried_then_succeeds(self, tmp_path, n_workers):

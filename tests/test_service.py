@@ -1,0 +1,581 @@
+"""Tests for the distributed sweep service (repro.service).
+
+Three layers, cheapest first:
+
+* protocol unit tests — encode/decode/framing, including the fuzz cases
+  (garbage JSON, truncated frames, oversize frames);
+* controller state-machine tests — a :class:`Controller` driven directly
+  through ``handle``/``tick``/``session_closed`` with a fake clock, so
+  lease expiry, heartbeat liveness, quarantine, stale completions, and
+  the fallback trigger are tested without sockets or sleeps;
+* socket integration tests — a real :class:`ControllerServer` with real
+  :class:`Worker` threads, asserting the headline contract: records
+  bit-identical to a serial sweep, through worker kills included.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.core import cache as result_cache
+from repro.core.parallel import enumerate_points, run_sweep
+from repro.service import (
+    Controller,
+    ControllerServer,
+    ProtocolError,
+    ServiceOptions,
+    Worker,
+    parse_address,
+    run_remote_sweep,
+)
+from repro.service.protocol import MAX_LINE_BYTES, MessageStream, decode, encode
+
+BASE = NetworkConfig(k=4, n=2)
+
+
+def service_runner(cfg, m=0):
+    """Module-level (importable, picklable) runner for service tests."""
+    return {"value": cfg.k * 1000 + cfg.router_delay * 10 + m, "seed_used": cfg.seed}
+
+
+def strip_timing(records):
+    return [{k: v for k, v in r.items() if k != "wall_seconds"} for r in records]
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        msg = {"type": "lease", "index": 3, "values": [1.5, "x", None]}
+        assert decode(encode(msg)) == msg
+
+    def test_numpy_values_stay_numeric(self):
+        np = pytest.importorskip("numpy")
+        out = decode(encode({"type": "t", "a": np.int64(7), "b": np.float64(0.25)}))
+        assert out["a"] == 7 and isinstance(out["a"], int)
+        assert out["b"] == 0.25 and isinstance(out["b"], float)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json at all\n",
+            b'{"type": "x", unterminated\n',
+            b'{"type": "trunc"',  # truncated frame: cut before the brace closed
+            b'["a","list"]\n',
+            b'"just a string"\n',
+            b'{"no_type": 1}\n',
+            b'{"type": 42}\n',
+            b"\xff\xfe garbage bytes\n",
+        ],
+    )
+    def test_bad_frames_raise_protocol_error(self, line):
+        with pytest.raises(ProtocolError):
+            decode(line)
+
+    def test_oversize_frame_rejected_both_ways(self):
+        big = {"type": "t", "blob": "x" * MAX_LINE_BYTES}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode(big)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_parse_address(self):
+        assert parse_address("example.com:9000") == ("example.com", 9000)
+        assert parse_address("7421") == ("127.0.0.1", 7421)
+        assert parse_address(":7421") == ("127.0.0.1", 7421)
+        with pytest.raises(ValueError, match="port"):
+            parse_address("host:notaport")
+        with pytest.raises(ValueError, match="range"):
+            parse_address("host:99999")
+
+
+# ---------------------------------------------------------------------------
+# controller state machine (fake clock, no sockets)
+# ---------------------------------------------------------------------------
+
+
+class Clock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_controller(clock, **opts) -> Controller:
+    defaults = dict(
+        lease_seconds=5.0,
+        heartbeat_timeout=1000.0,  # liveness tested explicitly where needed
+        quarantine_after=3,
+        quarantine_seconds=30.0,
+        fallback_after=None,
+    )
+    defaults.update(opts)
+    return Controller(ServiceOptions(**defaults), clock=clock)
+
+
+def submit_job(controller, axes=None, *, options=None, base=BASE):
+    points = enumerate_points(base, axes or {"router_delay": (1, 2)})
+    payload = [
+        {
+            "index": p.index,
+            "overrides": dict(p.overrides),
+            "kwargs": dict(p.kwargs),
+            "seed": p.seed,
+        }
+        for p in points
+    ]
+    from dataclasses import asdict
+
+    reply = controller.handle(
+        {
+            "type": "submit",
+            "base": asdict(base),
+            "points": payload,
+            "runner": result_cache.runner_spec(service_runner),
+            "options": options or {},
+        },
+        {},
+    )
+    assert reply["type"] == "submitted", reply
+    return reply, points
+
+
+def register_worker(controller, name="w1"):
+    session: dict = {}
+    reply = controller.handle({"type": "hello", "role": "worker", "name": name}, session)
+    assert reply["type"] == "welcome"
+    return session, reply
+
+
+class TestControllerStateMachine:
+    def test_submit_lease_result_poll(self):
+        clock = Clock()
+        c = make_controller(clock)
+        submitted, points = submit_job(c)
+        session, _ = register_worker(c)
+        lease = c.handle({"type": "request"}, session)
+        assert lease["type"] == "lease"
+        assert lease["index"] == 0 and lease["attempt"] == 0
+        assert lease["seed"] == points[0].seed
+        record = {"router_delay": 1, "value": 41, "wall_seconds": 0.0}
+        done = c.handle(
+            {"type": "result", "lease_id": lease["lease_id"],
+             "job_id": lease["job_id"], "record": record},
+            session,
+        )
+        assert done["type"] == "ok"
+        status = c.handle({"type": "poll", "job_id": submitted["job_id"]}, {})
+        assert status["done"] == 1 and not status["finished"]
+        assert status["records"][0] == {"index": 0, "record": record}
+        # incremental poll: already-fetched records are not resent
+        assert c.handle(
+            {"type": "poll", "job_id": submitted["job_id"], "since": 1}, {}
+        )["records"] == []
+
+    def test_request_without_hello_is_an_error(self):
+        c = make_controller(Clock())
+        assert c.handle({"type": "request"}, {})["type"] == "error"
+        assert c.handle({"type": "heartbeat"}, {})["type"] == "error"
+
+    def test_unknown_message_type_is_an_error_and_counted(self):
+        c = make_controller(Clock())
+        assert c.handle({"type": "frobnicate"}, {})["type"] == "error"
+        assert c.stats["bad_messages"] == 1
+
+    def test_submit_rejects_bad_base_and_unimportable_runner(self):
+        c = make_controller(Clock())
+        from dataclasses import asdict
+
+        bad = c.handle(
+            {"type": "submit", "base": {"k": -1}, "points": [], "runner": {"runner": "x:y"}},
+            {},
+        )
+        assert bad["type"] == "error" and "base config" in bad["error"]
+        lam = c.handle(
+            {
+                "type": "submit",
+                "base": asdict(BASE),
+                "points": [],
+                "runner": result_cache.runner_spec(lambda cfg: {}),
+            },
+            {},
+        )
+        assert lam["type"] == "error" and "importable" in lam["error"]
+
+    def test_lease_expiry_requeues_with_attempt_charged(self):
+        clock = Clock()
+        c = make_controller(clock)
+        submitted, _ = submit_job(c, {"router_delay": (1,)})
+        session, _ = register_worker(c)
+        lease = c.handle({"type": "request"}, session)
+        assert lease["type"] == "lease"
+        clock.advance(6.0)  # past lease_seconds=5
+        # keep the worker itself alive: heartbeat before the tick
+        c.handle({"type": "heartbeat"}, session)
+        c.tick()
+        assert c.stats["leases_expired"] == 1
+        job = c.jobs[submitted["job_id"]]
+        assert job.health.retried == 1
+        clock.advance(2.0)  # past the retry backoff
+        c.tick()
+        lease2 = c.handle({"type": "request"}, session)
+        assert lease2["type"] == "lease"
+        assert lease2["index"] == 0 and lease2["attempt"] == 1
+        # the expired lease's late completion is stale, not double-counted
+        stale = c.handle(
+            {"type": "result", "lease_id": lease["lease_id"],
+             "job_id": lease["job_id"], "record": {"value": 1}},
+            session,
+        )
+        assert stale["type"] == "stale"
+        assert job.health.stale_results == 1
+
+    def test_lease_retries_exhaust_to_failed_record(self):
+        clock = Clock()
+        c = make_controller(clock)
+        submitted, _ = submit_job(
+            c, {"router_delay": (1,)}, options={"max_retries": 1}
+        )
+        session, _ = register_worker(c)
+        for _ in range(2):  # attempt 0 and the single retry
+            clock.advance(2.0)
+            c.tick()
+            lease = c.handle({"type": "request"}, session)
+            assert lease["type"] == "lease"
+            clock.advance(6.0)
+            c.handle({"type": "heartbeat"}, session)
+            c.tick()
+        status = c.handle({"type": "poll", "job_id": submitted["job_id"]}, {})
+        assert status["finished"]
+        (item,) = status["records"]
+        assert item["record"]["failed"] is True
+        assert item["record"]["error_kind"] == "lease_expired"
+        assert "lease expired" in item["record"]["error"]
+
+    def test_duplicate_completion_is_stale(self):
+        c = make_controller(Clock())
+        submit_job(c, {"router_delay": (1,)})
+        session, _ = register_worker(c)
+        lease = c.handle({"type": "request"}, session)
+        msg = {"type": "result", "lease_id": lease["lease_id"],
+               "job_id": lease["job_id"], "record": {"value": 9}}
+        assert c.handle(msg, session)["type"] == "ok"
+        assert c.handle(msg, session)["type"] == "stale"
+        assert c.stats["stale_results"] == 1
+
+    def test_disconnect_requeues_leases(self):
+        clock = Clock()
+        c = make_controller(clock)
+        submitted, _ = submit_job(c, {"router_delay": (1,)})
+        session, _ = register_worker(c)
+        lease = c.handle({"type": "request"}, session)
+        assert lease["type"] == "lease"
+        c.session_closed(session)
+        assert not c.workers
+        job = c.jobs[submitted["job_id"]]
+        assert job.health.worker_deaths == 1
+        assert job.health.retried == 1  # requeued with one attempt charged
+        clock.advance(2.0)
+        c.tick()
+        session2, _ = register_worker(c, "w2")
+        lease2 = c.handle({"type": "request"}, session2)
+        assert lease2["type"] == "lease" and lease2["attempt"] == 1
+
+    def test_heartbeat_silence_reaps_worker(self):
+        clock = Clock()
+        c = make_controller(clock, heartbeat_timeout=3.0, lease_seconds=100.0)
+        submitted, _ = submit_job(c, {"router_delay": (1,)})
+        session, _ = register_worker(c)
+        assert c.handle({"type": "request"}, session)["type"] == "lease"
+        clock.advance(2.0)
+        assert c.handle({"type": "heartbeat"}, session)["type"] == "ok"
+        clock.advance(2.0)
+        c.tick()  # heartbeat 2s ago: still alive
+        assert c.workers
+        clock.advance(2.0)
+        c.tick()  # 4s of silence > 3s timeout
+        assert not c.workers
+        assert c.jobs[submitted["job_id"]].health.worker_deaths == 1
+        clock.advance(2.0)  # past the requeued point's retry backoff
+        c.tick()
+        # the socket is still open; its next message re-registers it
+        assert c.handle({"type": "request"}, session)["type"] == "lease"
+
+    def test_quarantine_after_repeated_lease_failures(self):
+        clock = Clock()
+        c = make_controller(clock, quarantine_after=2, quarantine_seconds=10.0)
+        submitted, _ = submit_job(
+            c, {"router_delay": (1,)}, options={"max_retries": 10}
+        )
+        session, _ = register_worker(c)
+        for _ in range(2):
+            clock.advance(2.0)
+            c.tick()
+            assert c.handle({"type": "request"}, session)["type"] == "lease"
+            clock.advance(6.0)
+            c.handle({"type": "heartbeat"}, session)
+            c.tick()
+        job = c.jobs[submitted["job_id"]]
+        assert job.health.quarantined == 1
+        idle = c.handle({"type": "request"}, session)
+        assert idle["type"] == "idle" and idle["quarantined"] is True
+        # a healthy sibling still gets the work
+        session2, _ = register_worker(c, "w2")
+        clock.advance(2.0)
+        c.tick()
+        assert c.handle({"type": "request"}, session2)["type"] == "lease"
+        # quarantine expires
+        clock.advance(10.0)
+        c.handle({"type": "heartbeat"}, session)
+        reply = c.handle({"type": "request"}, session)
+        assert reply.get("quarantined") is not True
+
+    def test_success_clears_failure_streak(self):
+        clock = Clock()
+        c = make_controller(clock, quarantine_after=2)
+        submit_job(c, {"router_delay": (1, 2, 3)}, options={"max_retries": 10})
+        session, _ = register_worker(c)
+        # one expiry...
+        c.handle({"type": "request"}, session)
+        clock.advance(6.0)
+        c.handle({"type": "heartbeat"}, session)
+        c.tick()
+        (worker,) = c.workers.values()
+        assert worker.consecutive_failures == 1
+        # ...then a success resets the streak
+        lease = c.handle({"type": "request"}, session)
+        c.handle(
+            {"type": "result", "lease_id": lease["lease_id"],
+             "job_id": lease["job_id"], "record": {"value": 1}},
+            session,
+        )
+        assert worker.consecutive_failures == 0
+
+    def test_fallback_triggers_only_after_quiet_window(self):
+        clock = Clock()
+        started = []
+        c = make_controller(clock, fallback_after=5.0)
+        c._start_fallback = lambda job: started.append(job.job_id)
+        submitted, _ = submit_job(c)
+        c.tick()
+        assert not started  # grace window not elapsed
+        clock.advance(4.0)
+        c.tick()
+        assert not started
+        clock.advance(2.0)
+        c.tick()
+        assert started == [submitted["job_id"]]
+        assert c.jobs[submitted["job_id"]].fallback_active
+        c.tick()
+        assert started == [submitted["job_id"]]  # not re-triggered
+
+    def test_fallback_deferred_while_workers_live(self):
+        clock = Clock()
+        started = []
+        c = make_controller(clock, fallback_after=5.0)
+        c._start_fallback = lambda job: started.append(job.job_id)
+        submit_job(c)
+        register_worker(c)
+        clock.advance(60.0)
+        c.tick()  # a worker exists (freshly registered ⇒ alive): no fallback
+        assert not started
+
+    def test_cache_prefill_serves_hits_without_dispatch(self, tmp_path):
+        store = result_cache.ResultCache(tmp_path / "cache")
+        # Warm the cache through a local sweep with the same runner.
+        axes = {"router_delay": (1, 2)}
+        serial = run_sweep(BASE, axes, service_runner, cache=store)
+        c = Controller(ServiceOptions(fallback_after=None), cache=store, clock=Clock())
+        submitted, _ = submit_job(c, axes)
+        assert submitted["cache_hits"] == 2
+        status = c.handle({"type": "poll", "job_id": submitted["job_id"]}, {})
+        assert status["finished"]
+        job = c.jobs[submitted["job_id"]]
+        assert job.health.cache_hits == 2 and not job.pending
+        assert "2/2 cache hits" in status["summary"]
+        got = [item["record"] for item in status["records"]]
+        assert strip_timing(got) == strip_timing(serial)
+
+    def test_worker_result_written_back_to_shared_store(self, tmp_path):
+        store = result_cache.ResultCache(tmp_path / "cache")
+        c = Controller(ServiceOptions(fallback_after=None), cache=store, clock=Clock())
+        submit_job(c, {"router_delay": (1,)})
+        session, _ = register_worker(c)
+        lease = c.handle({"type": "request"}, session)
+        record = {"router_delay": 1, "value": 4010, "wall_seconds": 0.25}
+        c.handle(
+            {"type": "result", "lease_id": lease["lease_id"],
+             "job_id": lease["job_id"], "record": record},
+            session,
+        )
+        assert len(store) == 1
+        # a second identical submission is now all hits
+        submitted2, _ = submit_job(c, {"router_delay": (1,)})
+        assert submitted2["cache_hits"] == 1
+
+    def test_failed_records_are_not_written_back(self, tmp_path):
+        store = result_cache.ResultCache(tmp_path / "cache")
+        c = Controller(ServiceOptions(fallback_after=None), cache=store, clock=Clock())
+        submit_job(c, {"router_delay": (1,)}, options={"max_retries": 0})
+        session, _ = register_worker(c)
+        lease = c.handle({"type": "request"}, session)
+        c.handle(
+            {"type": "result", "lease_id": lease["lease_id"], "job_id": lease["job_id"],
+             "record": {"failed": True, "error": "boom", "error_kind": "error",
+                        "wall_seconds": 0.0}},
+            session,
+        )
+        assert len(store) == 0
+
+    def test_info_reports_workers_and_jobs(self):
+        c = make_controller(Clock())
+        submit_job(c)
+        register_worker(c, "alpha")
+        info = c.handle({"type": "info"}, {})
+        assert info["type"] == "service"
+        assert [w["worker_id"] for w in info["workers"]] == ["alpha"]
+        assert info["jobs"][0]["total"] == 2
+
+
+# ---------------------------------------------------------------------------
+# socket integration
+# ---------------------------------------------------------------------------
+
+
+def start_workers(address, count, *, stop, worker_cls=Worker, **kwargs):
+    host, port = address
+    workers = [
+        worker_cls(host, port, name=f"w{i}", **kwargs) for i in range(count)
+    ]
+    threads = [
+        threading.Thread(target=w.run, args=(stop,), daemon=True) for w in workers
+    ]
+    for t in threads:
+        t.start()
+    return workers, threads
+
+
+class TestServiceIntegration:
+    AXES = {"router_delay": (1, 2, 3)}
+    EXTRA = {"m": (0, 5)}
+
+    def serial(self):
+        return run_sweep(BASE, self.AXES, service_runner, extra_axes=self.EXTRA)
+
+    def test_two_workers_bit_identical_to_serial(self):
+        opts = ServiceOptions(lease_seconds=30.0, fallback_after=None)
+        stop = threading.Event()
+        with ControllerServer(Controller(opts)) as server:
+            start_workers(server.address, 2, stop=stop)
+            host, port = server.address
+            records = run_remote_sweep(
+                f"{host}:{port}", BASE, self.AXES, service_runner, extra_axes=self.EXTRA
+            )
+            stop.set()
+        assert strip_timing(records) == strip_timing(self.serial())
+        assert records.health.ok == 6 and records.health.failed == 0
+
+    def test_zero_workers_falls_back_to_local_execution(self):
+        opts = ServiceOptions(fallback_after=0.1)
+        with ControllerServer(Controller(opts)) as server:
+            host, port = server.address
+            records = run_remote_sweep(
+                f"{host}:{port}", BASE, self.AXES, service_runner, extra_axes=self.EXTRA
+            )
+        assert strip_timing(records) == strip_timing(self.serial())
+        assert records.health.ok == 6
+
+    def test_remote_journal_resume_skips_completed_points(self, tmp_path):
+        journal = tmp_path / "remote.jsonl"
+        opts = ServiceOptions(fallback_after=0.1)
+        with ControllerServer(Controller(opts)) as server:
+            host, port = server.address
+            first = run_remote_sweep(
+                f"{host}:{port}", BASE, self.AXES, service_runner,
+                extra_axes=self.EXTRA, journal=journal,
+            )
+            resumed = run_remote_sweep(
+                f"{host}:{port}", BASE, self.AXES, service_runner,
+                extra_axes=self.EXTRA, journal=journal, resume=True,
+            )
+        assert strip_timing(resumed) == strip_timing(first)
+        assert resumed.health.ok == 6
+
+    def test_remote_resume_refuses_mismatched_fingerprint(self, tmp_path):
+        journal = tmp_path / "remote.jsonl"
+        opts = ServiceOptions(fallback_after=0.1)
+        with ControllerServer(Controller(opts)) as server:
+            host, port = server.address
+            address = f"{host}:{port}"
+            run_remote_sweep(
+                address, BASE, self.AXES, service_runner,
+                extra_axes=self.EXTRA, journal=journal,
+            )
+            with pytest.raises(ValueError, match="different sweep"):
+                run_remote_sweep(
+                    address, BASE.with_(seed=99), self.AXES, service_runner,
+                    extra_axes=self.EXTRA, journal=journal, resume=True,
+                )
+
+    def test_lambda_runner_rejected_client_side(self):
+        with pytest.raises(ValueError, match="importable"):
+            run_remote_sweep("127.0.0.1:1", BASE, self.AXES, lambda cfg: {})
+
+    def test_server_survives_protocol_fuzz(self):
+        """Garbage, truncation, and stale frames never take the service down."""
+        import random
+
+        gen = random.Random(20260808)
+        opts = ServiceOptions(fallback_after=0.1)
+        with ControllerServer(Controller(opts)) as server:
+            host, port = server.address
+            # 1) random binary garbage, then hang up mid-"frame"
+            for _ in range(10):
+                with socket.create_connection((host, port), timeout=5.0) as sock:
+                    payload = bytes(gen.randrange(256) for _ in range(gen.randrange(1, 200)))
+                    sock.sendall(payload)  # often no trailing newline: truncated
+            # 2) structured-but-wrong frames on one connection
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                stream = MessageStream(sock)
+                for raw in (b"not json\n", b'["list"]\n', b'{"no_type": 1}\n'):
+                    sock.sendall(raw)
+                    assert stream.recv()["type"] == "error"
+                # stale/duplicate lease completion from a worker that never
+                # registered a lease
+                reply = stream.rpc(
+                    {"type": "result", "lease_id": "lease-999999",
+                     "job_id": "job-0001", "record": {"value": 0}}
+                )
+                assert reply["type"] == "stale"
+            # 3) the service still works end to end afterwards
+            records = run_remote_sweep(
+                f"{host}:{port}", BASE, {"router_delay": (1,)}, service_runner
+            )
+            assert records.health.ok == 1
+            assert server.controller.stats["bad_messages"] >= 3
+
+    def test_oversize_frame_drops_connection_not_server(self):
+        opts = ServiceOptions(fallback_after=0.1)
+        with ControllerServer(Controller(opts)) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                sock.sendall(b"x" * (MAX_LINE_BYTES + 2))
+                sock.sendall(b"\n")
+                stream = MessageStream(sock)
+                reply = stream.recv()
+                assert reply is None or reply["type"] == "error"
+            records = run_remote_sweep(
+                f"{host}:{port}", BASE, {"router_delay": (1,)}, service_runner
+            )
+            assert records.health.ok == 1
