@@ -128,10 +128,12 @@ def _add_network_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--backend",
         default="object",
-        choices=("object", "vectorized"),
-        help="network implementation: per-flit Python objects (reference) or "
+        choices=("object", "vectorized", "analytical"),
+        help="network implementation: per-flit Python objects (reference), "
         "the struct-of-arrays numpy backend (bit-identical, much faster at "
-        "scale; rejects faulted or credit_delay=0 configs)",
+        "scale; rejects faulted or credit_delay=0 configs), or the "
+        "zero-cycle analytical estimator (cycle drivers reject it — use "
+        "'repro estimate' or 'repro sweep --steer')",
     )
     p.add_argument("--seed", type=int, default=1)
     p.add_argument(
@@ -287,6 +289,8 @@ def _cmd_sweep(args) -> int:
     runner = functools.partial(
         _openloop_runner, warmup=args.warmup, measure=args.measure, drain_limit=args.drain
     )
+    if getattr(args, "steer", False):
+        return _steered_sweep_cli(args, cfg, axes, rates, runner, cache)
     try:
         if getattr(args, "remote", None):
             from .service import run_remote_sweep
@@ -334,6 +338,87 @@ def _cmd_sweep(args) -> int:
     if health is not None:
         print(f"health: {health.summary()}", file=sys.stderr)
     return 0 if health is None or health.failed == 0 else 1
+
+
+def _steered_sweep_cli(args, cfg, axes, rates, runner, cache) -> int:
+    from .core.steering import steered_sweep
+
+    if args.resume or args.remote:
+        print("--steer does not support --resume or --remote (the simulated "
+              "window is recomputed per run; run it locally)", file=sys.stderr)
+        return 2
+    if cfg.backend == "analytical":
+        print("--steer simulates its knee window cycle-accurately; pick "
+              "--backend object|vectorized (the model half is implied)",
+              file=sys.stderr)
+        return 2
+    try:
+        records = steered_sweep(
+            cfg,
+            axes,
+            runner,
+            rates=rates,
+            sim_fraction=args.steer_fraction,
+            n_workers=args.workers,
+            journal=args.journal,
+            progress=_print_progress if args.progress else None,
+            point_timeout=args.point_timeout,
+            max_retries=args.max_retries,
+            cache=cache,
+        )
+    except ValueError as exc:
+        print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+    columns = list(axes) + ["rate", "latency", "throughput", "saturated", "source"]
+    if any(r.get("failed") for r in records):
+        columns.append("error")
+    print(format_records(records, columns))
+    for plan in records.plans:
+        coords = (
+            " ".join(f"{k}={v}" for k, v in plan.overrides.items()) or "(base)"
+        )
+        lo, hi = plan.simulated_indices[0], plan.simulated_indices[-1]
+        print(
+            f"steer {coords}: predicted knee at rate {plan.knee_rate:g} "
+            f"(model saturation {plan.saturation_rate:.4f}), simulated rates "
+            f"[{plan.rates[lo]:g}..{plan.rates[hi]:g}] = "
+            f"{len(plan.simulated_indices)}/{len(plan.rates)} points",
+            file=sys.stderr,
+        )
+    health = records.health
+    print(f"health: {health.summary()}", file=sys.stderr)
+    return 0 if health.failed == 0 else 1
+
+
+def _cmd_estimate(args) -> int:
+    from .analytical import AnalyticalModel
+
+    cfg = _network_config(args)
+    model = AnalyticalModel(cfg, capacity_factor=args.capacity_factor)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    print(
+        f"analytical model: zero-load latency "
+        f"{model.estimate(min(rates)).zero_load_latency:.2f} cycles, "
+        f"saturation rate {model.saturation_rate:.4f} flits/cycle/node"
+    )
+    for rate in rates:
+        est = model.estimate(rate)
+        lat = f"{est.avg_latency:.2f}" if not est.saturated else "inf"
+        print(
+            f"rate {rate:g}: avg latency {lat} cycles, throughput "
+            f"{est.throughput:.4f}, utilization {est.utilization:.2f}, "
+            f"saturated={est.saturated}"
+        )
+        if len(cfg.classes) > 1:
+            for cls_est in est.classes:
+                clat = (
+                    f"{cls_est.avg_latency:.2f}" if not cls_est.saturated else "inf"
+                )
+                print(
+                    f"  class {cls_est.name}: avg latency {clat}, throughput "
+                    f"{cls_est.throughput:.4f}, saturated={cls_est.saturated}"
+                )
+    return 0
 
 
 def _cmd_saturation(args) -> int:
@@ -439,7 +524,7 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .core.bench import run_backend_compare, run_bench
+    from .core.bench import run_backend_compare, run_bench, run_steered_compare
 
     if args.backends:
         # One leg per backend: the runs are minutes-long at full scale and
@@ -449,6 +534,13 @@ def _cmd_bench(args) -> int:
             out_dir=args.out,
             check=args.check,
             min_speedup=args.min_backend_speedup,
+        )
+    if args.steered:
+        return run_steered_compare(
+            quick=args.quick,
+            out_dir=args.out,
+            check=args.check,
+            max_sim_fraction=args.max_sim_fraction,
         )
     return run_bench(
         quick=args.quick,
@@ -657,7 +749,37 @@ def build_parser() -> argparse.ArgumentParser:
         "result cache (default dir: $REPRO_CACHE_DIR or .repro-cache); "
         "REPRO_NO_CACHE=1 bypasses it",
     )
+    p.add_argument(
+        "--steer",
+        action="store_true",
+        help="knee-steered sweep: simulate only a window of rates around "
+        "the analytical model's predicted knee, fill the rest from the "
+        "model (records tagged source=simulated|analytical)",
+    )
+    p.add_argument(
+        "--steer-fraction",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="--steer: max share of rates simulated per combination "
+        "(default 0.5)",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "estimate", help="zero-cycle analytical latency/saturation estimate"
+    )
+    _add_network_args(p)
+    p.add_argument("--rates", required=True, help="comma-separated offered loads")
+    p.add_argument(
+        "--capacity-factor",
+        type=float,
+        default=0.85,
+        metavar="FRACTION",
+        help="fraction of the ideal channel capacity reachable before "
+        "saturation (default 0.85; 1.0 = the textbook bound)",
+    )
+    p.set_defaults(func=_cmd_estimate)
 
     p = sub.add_parser("saturation", help="bisect the saturation throughput")
     openloop_args(p)
@@ -752,6 +874,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RATIO",
         help="--backends --check fails below this vectorized speedup "
         "(default 3.0)",
+    )
+    p.add_argument(
+        "--steered",
+        action="store_true",
+        help="instead of the scenario suite, compare a dense latency-load "
+        "sweep against the analytical-model-steered version and write "
+        "BENCH_steered_sweep.json; --check gates the simulated-point "
+        "budget and knee accuracy",
+    )
+    p.add_argument(
+        "--max-sim-fraction",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="--steered budget: share of grid points the steered sweep may "
+        "simulate (default 0.5; also the --check gate)",
     )
     p.set_defaults(func=_cmd_bench)
 

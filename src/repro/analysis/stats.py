@@ -12,9 +12,13 @@ standard output-analysis tools:
   summaries split by traffic class;
 * :func:`confidence_interval` — mean ± half-width at a given confidence,
   using a normal quantile (sample sizes here are in the thousands);
+  degenerate samples (empty, all-NaN, a single value) degrade to NaN
+  fields under the same never-raise contract — only parameter errors
+  raise;
 * :func:`batch_means` — the batch-means method for correlated series
   (packet latencies from one run are *not* i.i.d.: congestion correlates
-  neighbours, so the naive CI is too tight);
+  neighbours, so the naive CI is too tight); short/degenerate samples
+  degrade to NaN the same way;
 * :func:`warmup_cutoff` — MSER-style truncation point selection for
   deciding how much of a run to discard as transient;
 * :func:`index_of_dispersion` — windowed variance/mean ratio, the standard
@@ -162,12 +166,20 @@ def _z_for(confidence: float) -> float:
 def confidence_interval(
     values, *, confidence: float = 0.95
 ) -> ConfidenceInterval:
-    """Normal-approximation CI of the mean of (assumed independent) values."""
+    """Normal-approximation CI of the mean of (assumed independent) values.
+
+    Degenerate samples degrade, never raise: fewer than 2 finite values
+    (e.g. the all-NaN latency column of a saturated sweep point) yield a
+    NaN ``half_width`` — and a NaN ``mean`` too when there are none — so
+    summary pipelines keep flowing.  Only parameter errors (an unsupported
+    ``confidence``) raise.
+    """
+    z = _z_for(confidence)
     v = np.asarray(values, dtype=np.float64)
     v = v[np.isfinite(v)]
     if v.size < 2:
-        raise ValueError("need at least 2 finite values")
-    z = _z_for(confidence)
+        mean = float(v.mean()) if v.size else float("nan")
+        return ConfidenceInterval(mean, float("nan"), confidence, int(v.size))
     half = z * v.std(ddof=1) / math.sqrt(v.size)
     return ConfidenceInterval(float(v.mean()), float(half), confidence, int(v.size))
 
@@ -181,18 +193,23 @@ def batch_means(
     averages are approximately independent when batches are much longer
     than the correlation length, so a CI over them is honest where the
     naive per-sample CI is not.
+
+    Short samples degrade the same way :func:`confidence_interval` does:
+    fewer than ``2 * num_batches`` finite values (batches too short to be
+    meaningful) yield a NaN ``half_width`` and the plain sample mean (NaN
+    when there are no values at all).  ``num_batches < 2`` and an
+    unsupported ``confidence`` are parameter errors and still raise.
     """
-    v = np.asarray(values, dtype=np.float64)
-    v = v[np.isfinite(v)]
     if num_batches < 2:
         raise ValueError("need at least 2 batches")
+    z = _z_for(confidence)
+    v = np.asarray(values, dtype=np.float64)
+    v = v[np.isfinite(v)]
     if v.size < 2 * num_batches:
-        raise ValueError(
-            f"need >= {2 * num_batches} samples for {num_batches} batches"
-        )
+        mean = float(v.mean()) if v.size else float("nan")
+        return ConfidenceInterval(mean, float("nan"), confidence, int(v.size))
     usable = v.size - v.size % num_batches
     means = v[:usable].reshape(num_batches, -1).mean(axis=1)
-    z = _z_for(confidence)
     half = z * means.std(ddof=1) / math.sqrt(num_batches)
     return ConfidenceInterval(float(means.mean()), float(half), confidence, int(v.size))
 
@@ -250,4 +267,8 @@ def index_of_dispersion(counts, *, window: int = 50) -> float:
     mean = sums.mean()
     if mean == 0:
         return 0.0
-    return float(sums.var() / mean)
+    # Sample variance (ddof=1): the windowed sums are a finite sample of
+    # the arrival process, and the population formula (ddof=0) biases the
+    # ratio low — a seeded Poisson stream would read as sub-Poisson
+    # (IoD < 1) purely from the estimator, worst with few windows.
+    return float(sums.var(ddof=1) / mean)

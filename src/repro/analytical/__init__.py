@@ -1,0 +1,31 @@
+"""Zero-cycle analytical surrogate backend (``backend="analytical"``).
+
+See :mod:`repro.analytical.model` for the queueing model and
+:mod:`repro.analytical.ladder` for the correlation rung against the
+closed-loop batch driver.  Sweep steering lives in
+:mod:`repro.core.steering`.
+"""
+
+from .ladder import LadderResult, LadderRung, analytical_vs_batch
+from .model import (
+    DEFAULT_CAPACITY_FACTOR,
+    AnalyticalEstimate,
+    AnalyticalModel,
+    ClassEstimate,
+    estimate,
+    estimate_curve,
+    sweep_record,
+)
+
+__all__ = [
+    "AnalyticalModel",
+    "AnalyticalEstimate",
+    "ClassEstimate",
+    "DEFAULT_CAPACITY_FACTOR",
+    "estimate",
+    "estimate_curve",
+    "sweep_record",
+    "LadderRung",
+    "LadderResult",
+    "analytical_vs_batch",
+]

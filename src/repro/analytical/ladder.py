@@ -1,0 +1,116 @@
+"""The correlation ladder's zero-cycle rung: analytical vs closed-loop batch.
+
+The paper validates each cheaper methodology against the next more faithful
+one by Pearson correlation (§III-B: batch vs open-loop r ≈ 0.83→0.9x).
+This module extends the ladder downward: run the closed-loop batch driver
+over a range of ``m`` (outstanding requests), convert each run's achieved
+load ``θ`` into a model query, and correlate the model's mean latency with
+the measured batch request latency on the pre-saturation points — the same
+exclusion rule :func:`repro.core.correlation.pearson` applies to saturated
+open-loop points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..config import NetworkConfig
+from ..core.closedloop import BatchSimulator
+from ..core.correlation import pearson
+from .model import DEFAULT_CAPACITY_FACTOR, AnalyticalModel
+
+__all__ = ["LadderRung", "LadderResult", "analytical_vs_batch"]
+
+
+@dataclass(frozen=True)
+class LadderRung:
+    """One ladder point: the batch driver and the model at the same load."""
+
+    m: int
+    achieved_load: float
+    batch_latency: float
+    analytical_latency: float
+    saturated: bool
+
+
+@dataclass(frozen=True)
+class LadderResult:
+    """All rungs plus the Pearson r over the pre-saturation ones."""
+
+    rungs: tuple[LadderRung, ...]
+    r: float
+
+    @property
+    def pre_saturation(self) -> tuple[LadderRung, ...]:
+        return tuple(rung for rung in self.rungs if not rung.saturated)
+
+
+def analytical_vs_batch(
+    config: NetworkConfig,
+    m_values: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    *,
+    batch_size: int = 200,
+    capacity_factor: float = DEFAULT_CAPACITY_FACTOR,
+    max_utilization: float = 0.85,
+    min_load_growth: float = 0.10,
+    batch_kwargs: Optional[dict] = None,
+) -> LadderResult:
+    """Correlate model latency with batch request latency across ``m``.
+
+    Each ``m`` yields one rung: the batch run's achieved load ``θ``
+    (flits/cycle/node) is fed to the model, pairing the measured mean
+    request latency with the model's mean latency *at the load the machine
+    actually reached* — the same load-matching step the paper's batch vs
+    open-loop comparison uses.
+
+    ``r`` covers the *pre-saturation* rungs only.  A rung is past
+    saturation once the model's bottleneck utilization at ``θ`` reaches
+    ``max_utilization``, the model saturates outright, or doubling ``m``
+    grew ``θ`` by less than ``min_load_growth`` (the plateau signature);
+    every larger ``m`` is excluded too, because past its knee the
+    closed-loop machine's achieved load plateaus — or drops — while its
+    latency keeps climbing, so ``θ`` no longer identifies the operating
+    point.  This is the paper's own rule of dropping the near-saturation
+    ``m`` values (see
+    :meth:`repro.core.correlation.CorrelationResult.filtered`).
+    """
+    model = AnalyticalModel(config, capacity_factor=capacity_factor)
+    kwargs = dict(batch_kwargs or {})
+    rungs: list[LadderRung] = []
+    xs: list[float] = []
+    ys: list[float] = []
+    past_knee = False
+    prev_theta: Optional[float] = None
+    for m in sorted(int(m) for m in m_values):
+        res = BatchSimulator(
+            config, batch_size=batch_size, max_outstanding=m, **kwargs
+        ).run()
+        theta = min(max(res.throughput, 1e-3), 1.0)
+        est = model.estimate(theta)
+        plateaued = (
+            prev_theta is not None
+            and theta < prev_theta * (1.0 + min_load_growth)
+        )
+        saturated = (
+            past_knee
+            or est.saturated
+            or est.utilization >= max_utilization
+            or plateaued
+        )
+        past_knee = saturated
+        prev_theta = theta
+        rungs.append(
+            LadderRung(
+                m=m,
+                achieved_load=theta,
+                batch_latency=float(res.avg_request_latency),
+                analytical_latency=est.avg_latency,
+                saturated=saturated,
+            )
+        )
+        if not saturated:
+            xs.append(est.avg_latency)
+            ys.append(float(res.avg_request_latency))
+    r = pearson(xs, ys) if len(xs) >= 2 else float("nan")
+    return LadderResult(tuple(rungs), r)

@@ -116,10 +116,13 @@ class NetworkConfig:
     traffic: str = "uniform_random"
     credit_delay: int = 1
     #: network implementation: "object" (per-flit Python objects, the
-    #: reference cycle-level model) or "vectorized" (struct-of-arrays numpy
+    #: reference cycle-level model), "vectorized" (struct-of-arrays numpy
     #: backend, bit-identical on every supported configuration — see
-    #: DESIGN.md "Vectorized backend").  The backend is part of the result
-    #: cache fingerprint, so cached records never cross backends.
+    #: DESIGN.md "Vectorized backend"), or "analytical" (the zero-cycle
+    #: queueing estimator of :mod:`repro.analytical`; cycle drivers reject
+    #: it with BackendUnsupported pointing at ``repro.analytical.estimate``
+    #: / ``repro estimate``).  The backend is part of the result cache
+    #: fingerprint, so cached records never cross backends.
     backend: str = "object"
     #: VC-class discipline for DOR on wrapped topologies: "balanced"
     #: (default; both classes carry traffic) or "strict" (textbook
@@ -156,9 +159,10 @@ class NetworkConfig:
             raise ValueError(f"unknown packet_size {self.packet_size!r}; pick from {_SIZES}")
         if self.dateline not in ("balanced", "strict"):
             raise ValueError(f"unknown dateline {self.dateline!r}")
-        if self.backend not in ("object", "vectorized"):
+        if self.backend not in ("object", "vectorized", "analytical"):
             raise ValueError(
-                f"unknown backend {self.backend!r}; pick from ('object', 'vectorized')"
+                f"unknown backend {self.backend!r}; pick from "
+                "('object', 'vectorized', 'analytical')"
             )
         if self.k < 2:
             raise ValueError("k must be >= 2")

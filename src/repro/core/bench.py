@@ -49,6 +49,7 @@ __all__ = [
     "run_bench",
     "bench_paths",
     "run_backend_compare",
+    "run_steered_compare",
 ]
 
 #: canonical mesh for the open-loop scenarios (the paper's workhorse)
@@ -578,4 +579,142 @@ def run_backend_compare(
             f"the {min_speedup:.1f}x gate"
         )
         return 1
+    return 0
+
+
+#: steered-vs-dense scenario: the paper's 8×8 mesh swept across its knee
+#: (model saturation ≈ 0.42); quick mode shrinks to the 4×4 CI mesh.
+STEERED_COMPARE_SCENARIO = {
+    "full": dict(
+        config=dict(k=8, n=2, seed=7),
+        rates=tuple(round(0.05 * i, 2) for i in range(1, 11)),
+        windows=dict(warmup=500, measure=1000, drain_limit=10000),
+    ),
+    "quick": dict(
+        config=dict(k=4, n=2, seed=7),
+        rates=tuple(round(0.1 * i, 1) for i in range(1, 9)),
+        windows=dict(warmup=200, measure=400, drain_limit=4000),
+    ),
+}
+
+
+def _steered_leg_runner(cfg, *, rate, warmup, measure, drain_limit):
+    """Module-level open-loop runner (picklable; mirrors the CLI's)."""
+    sim = OpenLoopSimulator(
+        cfg, warmup=warmup, measure=measure, drain_limit=drain_limit
+    )
+    res = sim.run(rate)
+    return {
+        "latency": res.avg_latency,
+        "worst_node": res.worst_node_latency,
+        "throughput": res.throughput,
+        "saturated": res.saturated,
+    }
+
+
+def run_steered_compare(
+    *,
+    quick: bool = False,
+    out_dir="benchmarks/perf",
+    check: bool = False,
+    max_sim_fraction: float = 0.5,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Dense vs knee-steered sweep on the same grid; returns an exit code.
+
+    Runs the full latency–load sweep cycle-accurately, then the steered
+    version (model everywhere, cycles only in a window around the predicted
+    knee), and writes ``BENCH_steered_sweep[.quick].json`` recording both
+    wall times, the simulated-point budget, and how far the steered knee
+    landed from the dense one.  With ``check=True`` the run fails when the
+    steered sweep simulated more than ``max_sim_fraction`` of the grid or
+    missed the dense knee by more than one grid step — the CI gate on the
+    steering contract.
+    """
+    import functools
+
+    from .parallel import run_sweep
+    from .steering import find_knee, steered_sweep
+
+    mode = "quick" if quick else "full"
+    scen = STEERED_COMPARE_SCENARIO[mode]
+    cfg = NetworkConfig(**scen["config"])
+    rates = scen["rates"]
+    runner = functools.partial(_steered_leg_runner, **scen["windows"])
+    echo(f"repro bench --steered [{mode}]: dense vs knee-steered sweep")
+
+    t0 = time.perf_counter()
+    dense = run_sweep(cfg, {}, runner, extra_axes={"rate": rates})
+    dense_wall = time.perf_counter() - t0
+    dense_knee = find_knee(rates, [r["latency"] for r in dense])
+    echo(
+        f"  dense: {len(dense)} simulated points in {dense_wall:.2f}s, "
+        f"measured knee at rate {rates[dense_knee]:g}"
+    )
+
+    t0 = time.perf_counter()
+    steered = steered_sweep(
+        cfg, {}, runner, rates=rates, sim_fraction=max_sim_fraction
+    )
+    steered_wall = time.perf_counter() - t0
+    (plan,) = steered.plans
+    n_sim = sum(1 for r in steered if r["source"] == "simulated")
+    knee_step_error = abs(plan.knee_index - dense_knee)
+    speedup = dense_wall / steered_wall if steered_wall > 0 else float("inf")
+    echo(
+        f"  steered: {n_sim}/{len(rates)} simulated "
+        f"({plan.simulated_fraction:.0%}) in {steered_wall:.2f}s "
+        f"({speedup:.2f}x), predicted knee at rate {plan.knee_rate:g} "
+        f"({knee_step_error} grid step(s) from dense)"
+    )
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suffix = ".quick.json" if quick else ".json"
+    record = {
+        "name": "steered_sweep",
+        "mode": mode,
+        "description": (
+            f"{scen['config']['k']}x{scen['config']['k']} mesh latency-load "
+            "sweep: dense cycle-accurate grid vs analytical-model-steered "
+            "window around the predicted knee"
+        ),
+        "config": scen["config"],
+        "rates": list(rates),
+        "windows": scen["windows"],
+        "dense": {
+            "points_simulated": len(dense),
+            "wall_time_s": dense_wall,
+            "knee_index": dense_knee,
+            "knee_rate": rates[dense_knee],
+        },
+        "steered": {
+            "points_simulated": n_sim,
+            "simulated_fraction": plan.simulated_fraction,
+            "wall_time_s": steered_wall,
+            "knee_index": plan.knee_index,
+            "knee_rate": plan.knee_rate,
+            "model_saturation_rate": plan.saturation_rate,
+        },
+        "knee_step_error": knee_step_error,
+        "speedup": speedup,
+        "max_sim_fraction": max_sim_fraction if check else None,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    with open(out_dir / f"BENCH_steered_sweep{suffix}", "w") as f:
+        json.dump(record, f, indent=1, sort_keys=True)
+        f.write("\n")
+    if check:
+        if plan.simulated_fraction > max_sim_fraction:
+            echo(
+                f"STEERING REGRESSION: simulated {plan.simulated_fraction:.0%} "
+                f"of the grid, above the {max_sim_fraction:.0%} budget"
+            )
+            return 1
+        if knee_step_error > 1:
+            echo(
+                f"STEERING REGRESSION: predicted knee {knee_step_error} grid "
+                "steps from the dense knee (allowed: 1)"
+            )
+            return 1
     return 0

@@ -99,14 +99,23 @@ def decode(line: bytes | str) -> dict[str, Any]:
 
 
 def parse_address(address: str) -> tuple[str, int]:
-    """``"host:port"`` → ``(host, port)``; bare port implies localhost."""
+    """``"host:port"`` → ``(host, port)``; bare port implies localhost.
+
+    IPv6 hosts use the standard bracket form (``"[::1]:9000"``); the
+    brackets are the address *syntax*, not part of the host, so they are
+    stripped from the returned host (``socket.connect`` rejects them).
+    """
     host, sep, port = address.rpartition(":")
     if not sep:
         host, port = "127.0.0.1", address
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
     try:
         port_num = int(port)
     except ValueError:
-        raise ValueError(f"invalid service address {address!r}: port must be an integer")
+        raise ValueError(
+            f"invalid service address {address!r}: port must be an integer"
+        ) from None
     if not (0 < port_num < 65536):
         raise ValueError(f"invalid service address {address!r}: port out of range")
     return host or "127.0.0.1", port_num

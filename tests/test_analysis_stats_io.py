@@ -53,11 +53,25 @@ class TestConfidenceInterval:
         assert a.overlaps(b)
         assert not a.overlaps(c)
 
-    def test_rejects_bad_inputs(self):
-        with pytest.raises(ValueError):
-            confidence_interval([1.0])
+    def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
             confidence_interval([1.0, 2.0], confidence=0.5)
+        # parameter errors raise even when the sample is degenerate
+        with pytest.raises(ValueError):
+            confidence_interval([], confidence=0.5)
+
+    def test_degenerate_samples_degrade_to_nan(self):
+        # The module contract: degenerate *data* never raises (a saturated
+        # run's all-NaN latency column is a result, not an error).
+        ci = confidence_interval([1.0])
+        assert ci.mean == 1.0
+        assert np.isnan(ci.half_width)
+        assert ci.n == 1
+        for sample in ([], [float("nan")] * 5, [float("nan"), float("inf")]):
+            ci = confidence_interval(sample)
+            assert np.isnan(ci.mean)
+            assert np.isnan(ci.half_width)
+            assert ci.n == 0
 
     def test_drops_non_finite(self):
         ci = confidence_interval([1.0, 2.0, float("inf"), 3.0, float("nan")])
@@ -83,10 +97,24 @@ class TestBatchMeans:
         assert bm.half_width == pytest.approx(naive.half_width, rel=0.5)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
-            batch_means(np.arange(10), num_batches=20)
+        # num_batches and confidence are parameter errors: still raise,
+        # even on degenerate data.
         with pytest.raises(ValueError):
             batch_means(np.arange(100), num_batches=1)
+        with pytest.raises(ValueError):
+            batch_means([], num_batches=2, confidence=0.5)
+
+    def test_short_samples_degrade_to_nan(self):
+        # Too few samples for the batch count is a data problem, not a
+        # parameter one — degrade to NaN like confidence_interval.
+        ci = batch_means(np.arange(10), num_batches=20)
+        assert ci.mean == pytest.approx(4.5)
+        assert np.isnan(ci.half_width)
+        assert ci.n == 10
+        ci = batch_means([float("nan")] * 100, num_batches=20)
+        assert np.isnan(ci.mean)
+        assert np.isnan(ci.half_width)
+        assert ci.n == 0
 
 
 class TestWarmupCutoff:
@@ -143,6 +171,19 @@ class TestIndexOfDispersion:
             index_of_dispersion([1, 2, 3], window=50)
         with pytest.raises(ValueError):
             index_of_dispersion(np.ones(200), window=0)
+
+    def test_sample_variance_regression(self):
+        # Regression: sums.var() (ddof=0) biased the ratio low by a factor
+        # of (B-1)/B over B windows — with 4 windows a seeded Poisson
+        # stream read as IoD ≈ 0.75, i.e. spuriously sub-Poisson.
+        rng = np.random.default_rng(9)
+        counts = rng.poisson(5.0, size=200)  # 4 windows of 50
+        sums = counts.reshape(-1, 50).sum(axis=1).astype(np.float64)
+        expected = float(sums.var(ddof=1) / sums.mean())
+        biased = float(sums.var(ddof=0) / sums.mean())
+        iod = index_of_dispersion(counts)
+        assert iod == pytest.approx(expected)
+        assert iod > biased  # ddof=1 strictly exceeds ddof=0
 
 
 class TestRecordPersistence:

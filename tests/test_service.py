@@ -95,6 +95,28 @@ class TestProtocol:
         with pytest.raises(ValueError, match="range"):
             parse_address("host:99999")
 
+    def test_parse_address_ipv6(self):
+        # Regression: the brackets are address syntax, not host — a
+        # bracketed host used to come back as "[::1]", which
+        # socket.connect rejects.
+        assert parse_address("[::1]:9000") == ("::1", 9000)
+        assert parse_address("[fe80::1%eth0]:7421") == ("fe80::1%eth0", 7421)
+        assert parse_address("[::]:7421") == ("::", 7421)
+
+    def test_parse_address_garbage(self):
+        for bad in ("", ":", "host:", "[::1]", "[::1]:", "a:b:c", "host:0"):
+            with pytest.raises(ValueError, match="invalid service address"):
+                parse_address(bad)
+
+    def test_parse_address_error_has_no_noisy_cause(self):
+        # The int() ValueError is implementation detail; the raised error
+        # should not chain it (from None).
+        try:
+            parse_address("host:notaport")
+        except ValueError as exc:
+            assert exc.__cause__ is None
+            assert exc.__suppress_context__
+
 
 # ---------------------------------------------------------------------------
 # controller state machine (fake clock, no sockets)
