@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import argparse
 import functools
+import json
 import sys
 import time
+from pathlib import Path
 
 from . import __version__
 from .analysis import format_records, format_table, probe_heatmap
@@ -388,6 +390,247 @@ def _steered_sweep_cli(args, cfg, axes, rates, runner, cache) -> int:
     health = records.health
     print(f"health: {health.summary()}", file=sys.stderr)
     return 0 if health.failed == 0 else 1
+
+
+def _explore_spec(args):
+    """Resolve the CLI flags into an (config, ExploreSpec) pair."""
+    from .core.explore import DEFAULT_SPACE, QUICK_SPACE, DesignSpace, ExploreSpec
+
+    cfg = _network_config(args)
+    if args.quick:
+        # The quick profile is pinned — 4x4 network, small space, short
+        # windows — so its front is comparable across hosts and gateable
+        # against the committed BENCH_explore_quick.json baseline.
+        cfg = cfg.with_(k=4, n=2)
+        profile = dict(
+            space=QUICK_SPACE, population=8, generations=3,
+            rates=(0.1, 0.55), warmup=150, measure=300, drain_limit=3000,
+        )
+    else:
+        profile = dict(
+            space=DEFAULT_SPACE, population=12, generations=6,
+            rates=(0.05, 0.45), warmup=300, measure=600, drain_limit=6000,
+        )
+    space_map = profile["space"].as_mapping()
+    for name, values in args.gene or []:
+        space_map[name] = list(values)
+    spec = ExploreSpec(
+        space=DesignSpace.from_mapping(space_map),
+        population=args.population or profile["population"],
+        generations=(
+            args.generations if args.generations is not None
+            else profile["generations"]
+        ),
+        seed=args.seed,
+        rates=(
+            tuple(float(r) for r in args.rates.split(","))
+            if args.rates else profile["rates"]
+        ),
+        warmup=args.warmup or profile["warmup"],
+        measure=args.measure or profile["measure"],
+        drain_limit=args.drain or profile["drain_limit"],
+        objectives=tuple(args.objectives.split(",")),
+        surrogate=args.surrogate,
+        screen_fraction=args.screen_fraction,
+    )
+    return cfg, spec
+
+
+def _write_explore_outputs(out_dir, result, spec) -> tuple[str, str]:
+    """Write front JSONL + ASCII figure under ``out_dir``; return the paths."""
+    from .analysis.io import canonical_json
+    from .analysis.pareto import pareto_plot
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    front_path = out / "explore_front.jsonl"
+    with front_path.open("w", encoding="utf-8") as fh:
+        for rec in result.front:
+            fh.write(canonical_json(rec) + "\n")
+    fig = pareto_plot(
+        result.front,
+        x="cost",
+        y="latency",
+        title=f"pareto front ({len(result.front)} designs, "
+        f"objectives {'/'.join(spec.objectives)})",
+    )
+    fig_path = out / "explore_front.txt"
+    fig_path.write_text(fig + "\n", encoding="utf-8")
+    return str(front_path), str(fig_path)
+
+
+def _cmd_explore(args) -> int:
+    from .core.cache import default_cache_dir
+    from .core.explore import explore
+
+    try:
+        cfg, spec = _explore_spec(args)
+    except ValueError as exc:
+        print(f"explore error: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
+    if args.check:
+        return _explore_check(args, cfg, spec)
+    cache = None
+    if args.cache is not None:
+        cache = args.cache or default_cache_dir()
+    say = (lambda msg: print(f"explore: {msg}", file=sys.stderr))
+    try:
+        result = explore(
+            cfg,
+            spec,
+            journal=args.journal,
+            resume=args.resume,
+            resume_force=args.force_resume,
+            n_workers=args.workers,
+            cache=cache,
+            remote=args.remote,
+            max_retries=args.max_retries,
+            point_timeout=args.point_timeout,
+            log=say,
+        )
+    except ValueError as exc:
+        print(f"explore error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, RuntimeError) as exc:  # remote mode: refused/error reply
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    columns = list(spec.space.names) + list(spec.objectives) + ["generation"]
+    print(format_records(result.front, columns))
+    if args.out:
+        front_path, fig_path = _write_explore_outputs(args.out, result, spec)
+        print(f"front -> {front_path}\nfigure -> {fig_path}", file=sys.stderr)
+    else:
+        from .analysis.pareto import pareto_plot
+
+        print(pareto_plot(result.front))
+    print(f"explore: {result.summary()}", file=sys.stderr)
+    return 1 if result.errors else 0
+
+
+def _explore_check(args, cfg, spec) -> int:
+    """Self-contained explore gate: determinism, cache reuse, resume, HV.
+
+    Runs the seeded profile twice (cold then warm) plus a simulated-
+    interrupt resume, asserting bit-identical fronts, >= half the warm
+    evaluations answered from the result cache, and hypervolume no worse
+    than the committed ``BENCH_explore_quick.json`` baseline
+    (``--update-baseline`` refreshes it).  Artifacts land under ``--out``.
+    """
+    import shutil
+    import tempfile
+
+    from .analysis.io import canonical_json
+    from .analysis.pareto import hypervolume
+    from .core.explore import QUICK_HV_REFERENCE, explore
+
+    if not args.quick:
+        print("--check requires --quick (the gated profile)", file=sys.stderr)
+        return 2
+    if args.remote or args.resume:
+        print("--check runs locally from scratch; drop --remote/--resume",
+              file=sys.stderr)
+        return 2
+    baseline_path = Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+    baseline_path = baseline_path / "BENCH_explore_quick.json"
+    failures: list[str] = []
+    tmp = Path(tempfile.mkdtemp(prefix="repro-explore-check-"))
+    try:
+        cache_dir = args.cache or str(tmp / "cache")
+        j_a, j_b, j_c = tmp / "a.jsonl", tmp / "b.jsonl", tmp / "c.jsonl"
+        say = (lambda msg: print(f"explore: {msg}", file=sys.stderr))
+        run_a = explore(cfg, spec, journal=j_a, cache=cache_dir,
+                        n_workers=args.workers, log=say)
+        front_a = "\n".join(canonical_json(r) for r in run_a.front)
+        run_b = explore(cfg, spec, journal=j_b, cache=cache_dir,
+                        n_workers=args.workers)
+        front_b = "\n".join(canonical_json(r) for r in run_b.front)
+        if front_a != front_b:
+            failures.append("determinism: fronts differ across same-seed runs")
+        else:
+            print(f"check determinism: ok ({len(run_a.front)} designs, "
+                  f"bit-identical)")
+        hits, misses = run_b.health.cache_hits, run_b.health.cache_misses
+        if hits < misses:
+            failures.append(
+                f"cache reuse: warm run answered {hits}/{hits + misses} "
+                "points from cache (< half)"
+            )
+        else:
+            print(f"check cache reuse: ok ({hits}/{hits + misses} warm "
+                  "points from cache)")
+        # Simulated interrupt: drop the journal tail (one full line plus a
+        # partial one) and resume; the front must be unchanged.
+        lines = j_a.read_text(encoding="utf-8").splitlines()
+        cut = max(1, len(lines) - 2)
+        j_c.write_text(
+            "\n".join(lines[:cut]) + "\n" + lines[cut][: len(lines[cut]) // 2],
+            encoding="utf-8",
+        )
+        run_c = explore(cfg, spec, journal=j_c, resume=True, cache=cache_dir,
+                        n_workers=args.workers)
+        front_c = "\n".join(canonical_json(r) for r in run_c.front)
+        if front_c != front_a:
+            failures.append("resume: front after interrupted-journal resume "
+                            "differs from the uninterrupted run")
+        elif run_c.resumed == 0:
+            failures.append("resume: nothing was resumed from the journal")
+        else:
+            print(f"check resume: ok ({run_c.resumed} genomes resumed, "
+                  "front unchanged)")
+        hv = hypervolume(
+            [r["objectives"] for r in run_a.front], QUICK_HV_REFERENCE
+        )
+        if args.update_baseline:
+            baseline_path.parent.mkdir(parents=True, exist_ok=True)
+            baseline_path.write_text(
+                json.dumps(
+                    {
+                        "name": "explore_quick",
+                        "hypervolume": hv,
+                        "reference": list(QUICK_HV_REFERENCE),
+                        "front_size": len(run_a.front),
+                        "population": spec.population,
+                        "generations": spec.generations,
+                        "seed": spec.seed,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+            print(f"check hypervolume: baseline updated ({hv:.1f}) -> "
+                  f"{baseline_path}")
+        elif not baseline_path.exists():
+            failures.append(
+                f"hypervolume: no baseline at {baseline_path} "
+                "(run with --update-baseline to create it)"
+            )
+        else:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+            floor = float(baseline["hypervolume"]) * (1.0 - 1e-6)
+            if hv < floor:
+                failures.append(
+                    f"hypervolume: {hv:.3f} below baseline "
+                    f"{baseline['hypervolume']:.3f}"
+                )
+            else:
+                print(f"check hypervolume: ok ({hv:.1f} >= baseline "
+                      f"{baseline['hypervolume']:.1f})")
+        front_path, fig_path = _write_explore_outputs(
+            args.out or "explore-out", run_a, spec
+        )
+        print(f"front -> {front_path}\nfigure -> {fig_path}", file=sys.stderr)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    for failure in failures:
+        print(f"check FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("explore --check: all gates passed")
+    return 1 if failures else 0
 
 
 def _cmd_estimate(args) -> int:
@@ -765,6 +1008,129 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.5)",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "explore",
+        help="NSGA-II Pareto search over the design space "
+        "(latency / throughput / cost)",
+    )
+    _add_network_args(p)
+    p.add_argument("--warmup", type=int, default=None)
+    p.add_argument("--measure", type=int, default=None)
+    p.add_argument("--drain", type=int, default=None)
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="pinned quick profile: 4x4 network, small space/windows, "
+        "population 8 x 3 generations (the CI-gated configuration)",
+    )
+    p.add_argument(
+        "--population", type=int, default=None, help="population size per generation"
+    )
+    p.add_argument(
+        "--generations", type=int, default=None, help="number of NSGA-II generations"
+    )
+    p.add_argument(
+        "--gene",
+        action="append",
+        type=_parse_axis,
+        metavar="NAME=V1,V2,...",
+        help="override/add a design-space gene (repeatable), e.g. "
+        "--gene num-vcs=2,4,8",
+    )
+    p.add_argument(
+        "--objectives",
+        default="latency,throughput,cost",
+        metavar="NAMES",
+        help="ordered subset of latency,throughput,cost (default: all three)",
+    )
+    p.add_argument(
+        "--rates",
+        default=None,
+        metavar="LO,HI",
+        help="evaluation rates: latency read at LO, throughput at HI",
+    )
+    p.add_argument(
+        "--surrogate",
+        action="store_true",
+        help="screen each generation with the analytical model first; only "
+        "the surrogate-front share is simulated cycle-accurately",
+    )
+    p.add_argument(
+        "--screen-fraction",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="--surrogate: share of screened genomes that graduate to "
+        "simulation (default 0.5)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        help="JSON-lines archive of every evaluated genome (one per line)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay genomes already in --journal instead of re-evaluating",
+    )
+    p.add_argument(
+        "--force-resume",
+        action="store_true",
+        help="resume even when the journal's fingerprint (spec x config x "
+        "code version) no longer matches",
+    )
+    p.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="evaluate generations on the distributed sweep service",
+    )
+    p.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill evaluation points that run longer than this (parallel mode)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry transient point failures up to this many times (default 2)",
+    )
+    p.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache (duplicate genomes are free); "
+        "default dir: $REPRO_CACHE_DIR or .repro-cache",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write explore_front.jsonl + explore_front.txt here",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the quick profile: bit-identical fronts across two "
+        "same-seed runs, >= half the warm run from cache, clean resume "
+        "after a simulated interrupt, hypervolume vs the committed baseline",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="--check: rewrite benchmarks/perf/BENCH_explore_quick.json "
+        "from this run instead of gating against it",
+    )
+    p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
         "estimate", help="zero-cycle analytical latency/saturation estimate"

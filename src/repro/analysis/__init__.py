@@ -20,6 +20,7 @@ from .stats import (
     per_class_latency_stats,
     warmup_cutoff,
 )
+from .pareto import dominates, hypervolume, pareto_front, pareto_plot
 from .tables import format_matrix, format_records, format_table
 
 __all__ = [
@@ -45,4 +46,8 @@ __all__ = [
     "load_records",
     "append_jsonl",
     "read_jsonl",
+    "dominates",
+    "pareto_front",
+    "hypervolume",
+    "pareto_plot",
 ]

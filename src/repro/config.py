@@ -20,6 +20,7 @@ __all__ = [
     "NetworkConfig",
     "CmpConfig",
     "TrafficClass",
+    "FIELD_CHOICES",
     "TABLE_I_PARAMETER_SPACE",
     "TABLE_II_PARAMETERS",
 ]
@@ -37,6 +38,20 @@ _PATTERNS = (
     "hotspot",
 )
 _SIZES = ("single", "bimodal")
+
+#: Legal values per categorical :class:`NetworkConfig` field.  The design
+#: space explorer (:mod:`repro.core.explore`) validates gene values against
+#: this mapping up front, so a typo'd space fails before any simulation —
+#: the same eager-validation stance ``__post_init__`` takes for single
+#: configs.  Numeric fields (``k``, ``num_vcs``, ...) are absent: their
+#: ranges are open and checked by construction.
+FIELD_CHOICES: dict[str, tuple[str, ...]] = {
+    "topology": _TOPOLOGIES,
+    "routing": _ROUTERS,
+    "arbitration": _ARBITERS,
+    "traffic": _PATTERNS,
+    "packet_size": _SIZES,
+}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,948 @@
+"""NSGA-II design-space exploration over the network parameter space.
+
+The paper's framework exists to *compare* design points; this module turns
+that comparison into a search.  :func:`explore` runs a seeded, deterministic
+NSGA-II (Deb et al. 2002) over a validated :class:`DesignSpace` — topology
+× k/n × VC count × buffer depth × routing × arbitration — and returns the
+Pareto front over three minimized objectives:
+
+``latency``
+    Average packet latency (cycles) at the low evaluation rate; ``inf``
+    when the design saturates even there.
+``throughput``
+    Negated accepted throughput (flits/cycle/node) at the high evaluation
+    rate, so more throughput sorts as "smaller".
+``cost``
+    A silicon area proxy computed from the topology alone (no simulation),
+    documented at :func:`design_cost`: wire length (sum of channel delays,
+    so folded torus/ring wraps pay double), buffer bits (one input buffer
+    per channel terminal plus injection queue, times VCs × depth), and a
+    crossbar term (ports² per router) at 5% weight — crossbars are small
+    next to buffers at these radices but grow quadratically with degree.
+
+Candidate evaluation routes through :func:`repro.core.parallel.run_sweep`
+(or :func:`repro.service.client.run_remote_sweep` with ``remote=``): each
+generation's un-archived genomes become one sweep over the extra axes
+``genome`` × ``rate``, inheriting the content-addressed result cache
+(duplicate genomes across runs are free), self-healing retries, and
+distributed execution.  Genomes are canonical tuples of ``(field, value)``
+pairs sorted by field name, so per-point seeds from
+:func:`repro.rng.sweep_seed` and cache keys are stable regardless of how a
+genome was produced.
+
+Infeasible genomes — config validation errors and
+:class:`~repro.network.base.BackendUnsupported` — become *penalty points*
+(latency ``inf``, throughput 0, cost ``inf``): dominated by every feasible
+design, so selection steers away from them without crashing the run.  With
+``spec.surrogate`` the analytical model (:mod:`repro.analytical`) screens
+each generation first: only the surrogate-front share
+(``spec.screen_fraction``) pays for cycle-accurate simulation, the rest
+keep surrogate objectives for selection but are excluded from the final
+(simulated-only) front.
+
+Determinism and resume
+----------------------
+All randomness flows from one :func:`repro.rng.make_generator` stream
+(numpy ``Generator``, stable across platforms), and consumes the same
+draws regardless of cache state — two runs with the same seed produce
+bit-identical fronts whether the cache was cold, warm, or off.  A journal
+(JSONL) carries the same fingerprint-header contract as sweep journals:
+the first line is ``{"sweep": {"fingerprint", "total", "version", ...}}``
+and :func:`repro.core.parallel.check_journal_fingerprint` guards a resume
+against a changed spec/config/code-salt.  On resume, archived genomes are
+answered from the journal and never re-submitted to the sweep layer, so
+the sweep health's "N/M cache hits" counts only genuinely fresh points —
+replayed genomes are reported separately (``resumed`` / ``dedup_hits``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.io import canonical_json
+from ..analysis.pareto import dominates, pareto_front
+from ..config import FIELD_CHOICES, NetworkConfig
+from ..rng import make_generator
+from ..topology import build_topology
+from . import cache as result_cache
+from .openloop import OpenLoopSimulator
+from .parallel import SweepHealth, check_journal_fingerprint, run_sweep
+
+__all__ = [
+    "DesignSpace",
+    "ExploreSpec",
+    "ExploreResult",
+    "QUICK_SPACE",
+    "DEFAULT_SPACE",
+    "QUICK_HV_REFERENCE",
+    "OBJECTIVES",
+    "design_cost",
+    "explore",
+    "explore_runner",
+    "genome_key",
+    "non_dominated_sort",
+    "crowding_distances",
+    "nsga2_select",
+    "make_offspring",
+    "init_population",
+]
+
+JOURNAL_VERSION = 1
+
+#: The full objective menu, in canonical order.  ``ExploreSpec.objectives``
+#: is an ordered subset of these names.
+OBJECTIVES = ("latency", "throughput", "cost")
+
+#: Penalty metrics for infeasible genomes: dominated by every feasible
+#: design on every objective subset.
+PENALTY_METRICS = {"latency": math.inf, "throughput": 0.0, "cost": math.inf}
+
+#: Hypervolume reference point for the ``--quick`` profile front
+#: (latency cycles, negated throughput, cost units) — weakly worse than
+#: any feasible quick-space design, fixed so the committed baseline gate
+#: is comparing like with like.
+QUICK_HV_REFERENCE = (200.0, 0.0, 5000.0)
+
+# Fields the explorer refuses to treat as genes: seeds belong to the
+# driver (per-point seeds are derived), traffic classes are structured
+# objects (not JSON-scalar genes), and faults are a reliability-study knob
+# orthogonal to design-space search.
+_RESERVED_FIELDS = frozenset({"seed", "classes", "faults"})
+
+
+# --------------------------------------------------------------------------
+# Design space and genomes
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A validated, canonically-ordered design space.
+
+    ``genes`` maps :class:`NetworkConfig` field names to the candidate
+    values the search may assign, sorted by field name — the sorted order
+    fixes genome tuple layout, journal serialization, and per-point seed
+    derivation all at once.  Validation is eager: unknown fields, reserved
+    fields (``seed``, ``classes``, ``faults``), empty or duplicate value
+    lists, and values outside :data:`repro.config.FIELD_CHOICES` fail at
+    construction, before any simulation starts.
+    """
+
+    genes: tuple[tuple[str, tuple[Any, ...]], ...]
+
+    def __post_init__(self) -> None:
+        if not self.genes:
+            raise ValueError("design space needs at least one gene")
+        names = [name for name, _ in self.genes]
+        if names != sorted(names):
+            raise ValueError(f"genes must be sorted by field name, got {names}")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate gene names: {names}")
+        config_fields = {f.name for f in dataclasses.fields(NetworkConfig)}
+        for name, values in self.genes:
+            if name in _RESERVED_FIELDS:
+                raise ValueError(f"{name!r} cannot be a gene (reserved by the explorer)")
+            if name not in config_fields:
+                raise ValueError(f"unknown config field {name!r} in design space")
+            if not values:
+                raise ValueError(f"gene {name!r} has no candidate values")
+            if len(set(values)) != len(values):
+                raise ValueError(f"gene {name!r} repeats values: {values}")
+            choices = FIELD_CHOICES.get(name)
+            for v in values:
+                if not isinstance(v, (str, int, float, bool)):
+                    raise ValueError(
+                        f"gene {name!r} value {v!r} is not a JSON-scalar"
+                    )
+                if choices is not None and v not in choices:
+                    raise ValueError(
+                        f"gene {name!r} value {v!r} not in {choices}"
+                    )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Sequence[Any]]) -> "DesignSpace":
+        """Build (and validate) a space from ``{field: values}``."""
+        genes = tuple(
+            (name, tuple(mapping[name])) for name in sorted(mapping)
+        )
+        return cls(genes=genes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.genes)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct genomes in the space."""
+        out = 1
+        for _, values in self.genes:
+            out *= len(values)
+        return out
+
+    def as_mapping(self) -> dict[str, list[Any]]:
+        return {name: list(values) for name, values in self.genes}
+
+
+# A genome is a tuple of values aligned with ``space.genes`` order; its
+# serialized form is the tuple of (field, value) pairs.
+Genome = tuple
+
+
+def genome_pairs(space: DesignSpace, genome: Genome) -> tuple[tuple[str, Any], ...]:
+    """Canonical ``((field, value), ...)`` pairs for a genome."""
+    return tuple(zip(space.names, genome))
+
+
+def genome_key(space: DesignSpace, genome: Genome) -> str:
+    """Stable string identity of a genome (archive/journal key)."""
+    return "|".join(f"{n}={v!r}" for n, v in genome_pairs(space, genome))
+
+
+def genome_config(
+    base: NetworkConfig, pairs: Sequence[Sequence[Any]]
+) -> NetworkConfig:
+    """Apply genome pairs to ``base`` (raises ``ValueError`` if infeasible)."""
+    return base.with_(**{str(n): v for n, v in pairs})
+
+
+# --------------------------------------------------------------------------
+# Cost proxy
+# --------------------------------------------------------------------------
+
+
+def design_cost(cfg: NetworkConfig) -> float:
+    """Silicon area proxy of a design point, in flit-buffer-equivalents.
+
+    ``wire + buffers + 0.05 * crossbar`` where
+
+    * ``wire``     = Σ channel delay over the topology's channels — delay is
+      proportional to physical length under the folded layouts, so torus
+      and ring wraps pay their doubled wire honestly;
+    * ``buffers``  = (channels + nodes) × num_vcs × vc_buffer_size — one
+      input buffer bank per channel terminal plus one injection queue per
+      node, each ``num_vcs`` VCs deep at ``vc_buffer_size`` flits;
+    * ``crossbar`` = nodes × ports², weighted 0.05: small next to buffers
+      at these radices, but the quadratic growth is what makes
+      high-degree routers (ideal, large k rings) expensive.
+
+    Pure function of the config — no simulation, no RNG.
+    """
+    topo = build_topology(cfg)
+    channels = list(topo.channels())
+    wire = float(sum(ch.delay for ch in channels))
+    buffers = float(
+        (len(channels) + topo.num_nodes) * cfg.num_vcs * cfg.vc_buffer_size
+    )
+    crossbar = float(topo.num_nodes * topo.ports_per_router**2)
+    return wire + buffers + 0.05 * crossbar
+
+
+# --------------------------------------------------------------------------
+# Evaluation runner (module-level: picklable, remote-importable)
+# --------------------------------------------------------------------------
+
+
+def explore_runner(cfg, *, genome, rate, warmup, measure, drain_limit):
+    """Sweep runner for one (genome, rate) point.
+
+    ``genome`` arrives as the canonical pairs tuple (an extra-axis value,
+    so it is part of the point's cache key and derived seed); applying it
+    to an infeasible combination raises ``ValueError`` /
+    ``BackendUnsupported``, which the sweep layer records as a failed
+    point — the explorer turns those into penalty objectives.
+    """
+    cfg = genome_config(cfg, genome)
+    sim = OpenLoopSimulator(cfg, warmup=warmup, measure=measure, drain_limit=drain_limit)
+    res = sim.run(rate)
+    return {
+        "latency": res.avg_latency,
+        "throughput": res.throughput,
+        "saturated": res.saturated,
+    }
+
+
+# --------------------------------------------------------------------------
+# NSGA-II pure functions
+# --------------------------------------------------------------------------
+
+
+def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> list[list[int]]:
+    """Fast non-dominated sort: indices grouped into fronts, best first.
+
+    Front 0 is the Pareto front of the input; each later front is the
+    Pareto front of what remains.  Every index appears in exactly one
+    front.  O(n²) dominance comparisons — fine at population scale.
+    """
+    n = len(objectives)
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: list[list[int]] = [[]]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+            elif dominates(objectives[j], objectives[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        nxt: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        current += 1
+        fronts.append(nxt)
+    fronts.pop()  # the loop always leaves one empty trailing front
+    return fronts
+
+
+def crowding_distances(
+    objectives: Sequence[Sequence[float]], front: Sequence[int]
+) -> list[float]:
+    """Crowding distance per front member (aligned with ``front`` order).
+
+    Boundary points on any objective get ``inf`` (always kept); interior
+    points sum normalized gaps to their sorted neighbours.  Objectives
+    with zero or non-finite span contribute nothing to interior points —
+    penalty genomes at ``inf`` cannot crowd out real designs.
+    """
+    m = len(front)
+    if m == 0:
+        return []
+    dist = [0.0] * m
+    n_obj = len(objectives[front[0]])
+    for k in range(n_obj):
+        order = sorted(range(m), key=lambda i: objectives[front[i]][k])
+        dist[order[0]] = math.inf
+        dist[order[-1]] = math.inf
+        lo = objectives[front[order[0]]][k]
+        hi = objectives[front[order[-1]]][k]
+        span = hi - lo
+        if not math.isfinite(span) or span <= 0.0:
+            continue
+        for pos in range(1, m - 1):
+            prev_v = objectives[front[order[pos - 1]]][k]
+            next_v = objectives[front[order[pos + 1]]][k]
+            if math.isfinite(prev_v) and math.isfinite(next_v):
+                dist[order[pos]] += (next_v - prev_v) / span
+    return dist
+
+
+def nsga2_select(objectives: Sequence[Sequence[float]], k: int) -> list[int]:
+    """Environmental selection: ``k`` indices by (front rank, crowding).
+
+    Whole fronts are taken best-first; the front that overflows ``k`` is
+    truncated by descending crowding distance with index order as the
+    deterministic tie-break.
+    """
+    if k <= 0:
+        return []
+    chosen: list[int] = []
+    for front in non_dominated_sort(objectives):
+        if len(chosen) + len(front) <= k:
+            chosen.extend(front)
+            if len(chosen) == k:
+                break
+            continue
+        crowd = crowding_distances(objectives, front)
+        ranked = sorted(range(len(front)), key=lambda i: (-crowd[i], front[i]))
+        chosen.extend(front[i] for i in ranked[: k - len(chosen)])
+        break
+    return chosen
+
+
+def rank_and_crowding(
+    objectives: Sequence[Sequence[float]],
+) -> tuple[list[int], list[float]]:
+    """Per-individual front rank and crowding distance (tournament inputs)."""
+    n = len(objectives)
+    rank = [0] * n
+    crowd = [0.0] * n
+    for r, front in enumerate(non_dominated_sort(objectives)):
+        dists = crowding_distances(objectives, front)
+        for i, d in zip(front, dists):
+            rank[i] = r
+            crowd[i] = d
+    return rank, crowd
+
+
+def _tournament(
+    gen: np.random.Generator, rank: Sequence[int], crowd: Sequence[float]
+) -> int:
+    """Binary tournament: lower rank wins, then higher crowding, then index."""
+    i, j = (int(x) for x in gen.integers(0, len(rank), size=2))
+    if (rank[i], -crowd[i], i) <= (rank[j], -crowd[j], j):
+        return i
+    return j
+
+
+def init_population(
+    gen: np.random.Generator, space: DesignSpace, size: int
+) -> list[Genome]:
+    """Uniform random initial population (duplicates allowed — they're free)."""
+    population = []
+    for _ in range(size):
+        genome = tuple(
+            values[int(gen.integers(0, len(values)))] for _, values in space.genes
+        )
+        population.append(genome)
+    return population
+
+
+def make_offspring(
+    gen: np.random.Generator,
+    population: Sequence[Genome],
+    objectives: Sequence[Sequence[float]],
+    space: DesignSpace,
+    count: int,
+    *,
+    crossover_rate: float = 0.9,
+    mutation_rate: float = 0.2,
+) -> list[Genome]:
+    """``count`` children via tournament selection + uniform crossover + mutation.
+
+    Per child: two binary tournaments pick parents; with probability
+    ``crossover_rate`` each gene comes from either parent uniformly
+    (otherwise the child clones the first parent); then each gene mutates
+    with probability ``mutation_rate`` by resampling uniformly among the
+    gene's *other* values.  The draw sequence is fixed-shape per child
+    given the space, so identical seeds give identical offspring streams.
+    """
+    rank, crowd = rank_and_crowding(objectives)
+    children: list[Genome] = []
+    n_genes = len(space.genes)
+    while len(children) < count:
+        p1 = population[_tournament(gen, rank, crowd)]
+        p2 = population[_tournament(gen, rank, crowd)]
+        if gen.random() < crossover_rate:
+            mask = gen.integers(0, 2, size=n_genes)
+            child = [p1[g] if mask[g] else p2[g] for g in range(n_genes)]
+        else:
+            child = list(p1)
+        mutate = gen.random(n_genes) < mutation_rate
+        for g, (_, values) in enumerate(space.genes):
+            if mutate[g] and len(values) > 1:
+                others = [v for v in values if v != child[g]]
+                child[g] = others[int(gen.integers(0, len(others)))]
+        children.append(tuple(child))
+    return children
+
+
+# --------------------------------------------------------------------------
+# Spec, result
+# --------------------------------------------------------------------------
+
+QUICK_SPACE = DesignSpace.from_mapping(
+    {
+        "topology": ("mesh", "torus", "ring"),
+        "num_vcs": (2, 4),
+        "vc_buffer_size": (2, 4),
+        "routing": ("dor", "val"),  # val off-mesh is infeasible: penalty path
+        "arbitration": ("round_robin", "age"),
+    }
+)
+
+DEFAULT_SPACE = DesignSpace.from_mapping(
+    {
+        "topology": ("mesh", "torus", "ring"),
+        "k": (4, 8),
+        "num_vcs": (2, 4, 8),
+        "vc_buffer_size": (1, 2, 4, 8),
+        "routing": ("dor", "val", "ma", "romm"),
+        "arbitration": ("round_robin", "age"),
+    }
+)
+
+
+@dataclass(frozen=True)
+class ExploreSpec:
+    """Everything that identifies one exploration run.
+
+    The fingerprint (and therefore journal resume compatibility) covers
+    every field here plus the base config and the code-version salt.
+    """
+
+    space: DesignSpace = QUICK_SPACE
+    population: int = 12
+    generations: int = 6
+    seed: int = 1
+    #: (low, high) injection rates: latency is read at low, throughput at high.
+    rates: tuple[float, float] = (0.1, 0.55)
+    warmup: int = 300
+    measure: int = 600
+    drain_limit: int = 6000
+    objectives: tuple[str, ...] = OBJECTIVES
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.2
+    #: Screen each generation with the analytical surrogate first.
+    surrogate: bool = False
+    #: Fraction of screened genomes that graduate to cycle-accurate runs.
+    screen_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if self.generations < 0:
+            raise ValueError("generations must be >= 0")
+        if len(self.rates) != 2 or not (0.0 < self.rates[0] <= self.rates[1]):
+            raise ValueError(f"rates must be (low, high) with 0 < low <= high: {self.rates}")
+        bad = [o for o in self.objectives if o not in OBJECTIVES]
+        if bad or len(self.objectives) < 2 or len(set(self.objectives)) != len(self.objectives):
+            raise ValueError(
+                f"objectives must be >= 2 distinct names from {OBJECTIVES}: {self.objectives}"
+            )
+        if not 0.0 < self.screen_fraction <= 1.0:
+            raise ValueError("screen_fraction must be in (0, 1]")
+
+    def fingerprint(self, base: NetworkConfig) -> str:
+        """Resume identity: spec × base config × code salt (sha256)."""
+        payload = {
+            "space": self.space.as_mapping(),
+            "population": self.population,
+            "generations": self.generations,
+            "seed": self.seed,
+            "rates": list(self.rates),
+            "windows": [self.warmup, self.measure, self.drain_limit],
+            "objectives": list(self.objectives),
+            "crossover_rate": self.crossover_rate,
+            "mutation_rate": self.mutation_rate,
+            "surrogate": self.surrogate,
+            "screen_fraction": self.screen_fraction,
+            "config": dataclasses.asdict(base),
+            "salt": result_cache.cache_salt(),
+        }
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def objective_vector(self, metrics: Mapping[str, float]) -> tuple[float, ...]:
+        """Minimized objective vector in spec order (throughput negated)."""
+        out = []
+        for name in self.objectives:
+            v = float(metrics[name])
+            out.append(-v if name == "throughput" else v)
+        return tuple(out)
+
+
+@dataclass
+class ExploreResult:
+    """One exploration run: front, archive, populations, health, counters."""
+
+    #: Non-dominated, feasible, *simulated* designs (canonical order).
+    front: list[dict[str, Any]]
+    #: Every evaluated genome, in evaluation order (journal mirror).
+    archive: list[dict[str, Any]]
+    #: Genome keys per generation (index 0 = initial population).
+    populations: list[list[str]]
+    #: Aggregated sweep-layer health of the fresh evaluations only.
+    health: SweepHealth
+    #: Genomes answered by fresh simulation this run.
+    evaluated: int = 0
+    #: Genomes answered from the resumed journal archive.
+    resumed: int = 0
+    #: Duplicate genome requests answered from the in-run archive.
+    dedup_hits: int = 0
+    #: Genomes that proved infeasible (penalty points).
+    infeasible: int = 0
+    #: Genomes that failed for *unexpected* reasons (crashes, stalls) —
+    #: unlike infeasibility these are real errors and fail the CLI.
+    errors: int = 0
+    #: Genomes evaluated by the surrogate only (never simulated).
+    surrogate_only: int = 0
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.front)} on front",
+            f"{self.evaluated} simulated",
+        ]
+        if self.surrogate_only:
+            parts.append(f"{self.surrogate_only} surrogate-only")
+        if self.infeasible:
+            parts.append(f"{self.infeasible} infeasible")
+        if self.errors:
+            parts.append(f"{self.errors} errors")
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.dedup_hits:
+            parts.append(f"{self.dedup_hits} dedup hits")
+        parts.append(self.health.summary())
+        return ", ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Journal
+# --------------------------------------------------------------------------
+
+
+def _journal_header(spec: ExploreSpec, base: NetworkConfig) -> dict[str, Any]:
+    # The same {"sweep": {...}} shape run_sweep writes, so
+    # check_journal_fingerprint guards explore resumes unchanged.
+    return {
+        "sweep": {
+            "fingerprint": spec.fingerprint(base),
+            "total": spec.population * (spec.generations + 1),
+            "version": JOURNAL_VERSION,
+            "explore": {
+                "population": spec.population,
+                "generations": spec.generations,
+                "seed": spec.seed,
+                "objectives": list(spec.objectives),
+            },
+        }
+    }
+
+
+def _load_archive(journal: Path) -> list[dict[str, Any]]:
+    """Archive entries from a journal, tolerating a truncated tail line."""
+    entries: list[dict[str, Any]] = []
+    with journal.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                break  # interrupted mid-write: drop the tail
+            if "sweep" in obj:
+                continue
+            if "key" in obj and "objectives" in obj:
+                entries.append(obj)
+    return entries
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def _classify_failure(error: str) -> str:
+    """``"infeasible"`` for validation/backend rejections, else ``"error"``."""
+    # BackendUnsupported subclasses ValueError but keeps its own name in
+    # the record's "TypeName: message" string.
+    return (
+        "infeasible"
+        if error.startswith(("ValueError:", "BackendUnsupported:"))
+        else "error"
+    )
+
+
+_HEALTH_FIELDS = (
+    "total",
+    "ok",
+    "failed",
+    "retried",
+    "timed_out",
+    "stalled",
+    "worker_deaths",
+    "cache_hits",
+    "cache_misses",
+    "quarantined",
+    "stale_results",
+)
+
+
+def _fold_health(total: SweepHealth, part: SweepHealth) -> None:
+    for name in _HEALTH_FIELDS:
+        setattr(total, name, getattr(total, name) + getattr(part, name))
+    total.interrupted = total.interrupted or part.interrupted
+
+
+def _surrogate_metrics(
+    cfg: NetworkConfig, rates: tuple[float, float]
+) -> dict[str, float] | None:
+    """Analytical (zero-cycle) latency/throughput estimate, or None.
+
+    ``None`` means the surrogate cannot model this (feasible) design —
+    the genome must be simulated rather than screened.
+    """
+    from ..analytical import AnalyticalModel
+
+    try:
+        model = AnalyticalModel(cfg)
+        lo = model.estimate(rates[0])
+        hi = model.estimate(rates[1])
+    except Exception:
+        return None
+    latency = math.inf if lo.saturated else float(lo.avg_latency)
+    return {"latency": latency, "throughput": float(hi.throughput)}
+
+
+def explore(
+    base: NetworkConfig,
+    spec: ExploreSpec,
+    *,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    resume_force: bool = False,
+    n_workers: int = 1,
+    cache: Any = None,
+    remote: str | None = None,
+    max_retries: int = 2,
+    point_timeout: float | None = None,
+    log: Callable[[str], None] | None = None,
+) -> ExploreResult:
+    """Run the NSGA-II exploration; return the front, archive, and health.
+
+    ``base`` supplies every config field the space does not vary (network
+    size, traffic pattern, ...).  ``journal`` checkpoints each evaluated
+    genome as a JSONL line under the fingerprint-header contract; with
+    ``resume=True`` archived genomes are replayed instead of re-evaluated
+    (``resume_force`` overrides a fingerprint mismatch).  ``remote`` is a
+    ``host:port`` sweep-service address; otherwise evaluation runs locally
+    with ``n_workers`` / ``cache`` / ``point_timeout`` passed through to
+    :func:`run_sweep`.  ``log`` receives one progress line per generation.
+    """
+    say = log or (lambda msg: None)
+    space = spec.space
+    journal_path = Path(journal) if journal is not None else None
+    if resume and journal_path is None:
+        raise ValueError("resume=True requires a journal path")
+
+    archive: dict[str, dict[str, Any]] = {}
+    order: list[str] = []
+    result = ExploreResult(front=[], archive=[], populations=[], health=SweepHealth())
+
+    if journal_path is not None and resume and journal_path.exists():
+        check_journal_fingerprint(
+            journal_path, spec.fingerprint(base), force=resume_force
+        )
+        for entry in _load_archive(journal_path):
+            if entry["key"] not in archive:
+                archive[entry["key"]] = entry
+                order.append(entry["key"])
+        result.resumed = len(archive)
+        say(f"resumed {result.resumed} archived genomes from {journal_path}")
+
+    # (Re)write the journal: header plus whatever survived the resume load,
+    # dropping any truncated tail — the same rewrite run_sweep performs.
+    if journal_path is not None:
+        with journal_path.open("w", encoding="utf-8") as fh:
+            fh.write(canonical_json(_journal_header(spec, base)) + "\n")
+            for key in order:
+                fh.write(canonical_json(archive[key]) + "\n")
+
+    def append_entries(entries: Sequence[Mapping[str, Any]]) -> None:
+        if journal_path is None or not entries:
+            return
+        with journal_path.open("a", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(canonical_json(entry) + "\n")
+
+    def finish_entry(
+        key: str,
+        pairs: tuple[tuple[str, Any], ...],
+        generation: int,
+        source: str,
+        feasible: bool,
+        metrics: Mapping[str, float],
+        error: str | None = None,
+    ) -> dict[str, Any]:
+        entry = {
+            "key": key,
+            "genome": [list(p) for p in pairs],
+            "generation": generation,
+            "source": source,
+            "feasible": feasible,
+            "metrics": dict(metrics),
+            "objectives": list(spec.objective_vector(metrics)),
+        }
+        if error is not None:
+            entry["error"] = error
+        archive[key] = entry
+        order.append(key)
+        return entry
+
+    def evaluate_generation(genomes: Sequence[Genome], generation: int) -> None:
+        """Ensure every genome has an archive entry; journal the fresh ones.
+
+        Resumed/duplicate genomes are answered from the archive and never
+        re-submitted to the sweep layer — so the sweep health's cache
+        accounting only ever sees genuinely fresh points.
+        """
+        todo: list[Genome] = []
+        seen_batch: set[str] = set()
+        for genome in genomes:
+            key = genome_key(space, genome)
+            if key in archive or key in seen_batch:
+                if key in archive:
+                    result.dedup_hits += 1
+                continue
+            seen_batch.add(key)
+            todo.append(genome)
+        if not todo:
+            return
+
+        new_entries: list[dict[str, Any]] = []
+        simulate: list[Genome] = []
+        if spec.surrogate:
+            screened: list[tuple[Genome, dict[str, float]]] = []
+            for genome in todo:
+                pairs = genome_pairs(space, genome)
+                key = genome_key(space, genome)
+                try:
+                    cfg = genome_config(base, pairs)
+                except ValueError as exc:
+                    result.infeasible += 1
+                    new_entries.append(
+                        finish_entry(
+                            key, pairs, generation, "penalty", False,
+                            PENALTY_METRICS, error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    continue
+                est = _surrogate_metrics(cfg, spec.rates)
+                if est is None:
+                    simulate.append(genome)  # surrogate can't model it
+                else:
+                    est["cost"] = design_cost(cfg)
+                    screened.append((genome, est))
+            if screened:
+                vectors = [spec.objective_vector(m) for _, m in screened]
+                n_pick = max(1, math.ceil(spec.screen_fraction * len(screened)))
+                picked = set(nsga2_select(vectors, n_pick))
+                for i, (genome, est) in enumerate(screened):
+                    if i in picked:
+                        simulate.append(genome)
+                    else:
+                        result.surrogate_only += 1
+                        new_entries.append(
+                            finish_entry(
+                                genome_key(space, genome),
+                                genome_pairs(space, genome),
+                                generation,
+                                "surrogate",
+                                True,
+                                est,
+                            )
+                        )
+        else:
+            simulate = todo
+
+        if simulate:
+            genome_axis = tuple(genome_pairs(space, g) for g in simulate)
+            sweep_kwargs: dict[str, Any] = dict(
+                extra_axes={"genome": genome_axis, "rate": tuple(spec.rates)},
+                max_retries=max_retries,
+            )
+            runner = _bound_runner(spec)
+            if remote is not None:
+                from ..service.client import run_remote_sweep
+
+                records = run_remote_sweep(
+                    remote, base, {}, runner, label=f"explore-gen{generation}",
+                    **sweep_kwargs,
+                )
+            else:
+                records = run_sweep(
+                    base, {}, runner,
+                    n_workers=n_workers,
+                    cache=cache,
+                    point_timeout=point_timeout,
+                    **sweep_kwargs,
+                )
+            _fold_health(result.health, records.health)
+            # Canonical enumeration order: genome-major, rate-minor.
+            for i, genome in enumerate(simulate):
+                pairs = genome_pairs(space, genome)
+                key = genome_key(space, genome)
+                rec_lo, rec_hi = records[2 * i], records[2 * i + 1]
+                failed = [r for r in (rec_lo, rec_hi) if r.get("failed")]
+                if failed:
+                    error = str(failed[0].get("error", "unknown"))
+                    kind = _classify_failure(error)
+                    if kind == "infeasible":
+                        result.infeasible += 1
+                    else:
+                        result.errors += 1
+                    new_entries.append(
+                        finish_entry(
+                            key, pairs, generation, "penalty", False,
+                            PENALTY_METRICS, error=error,
+                        )
+                    )
+                    continue
+                result.evaluated += 1
+                latency = (
+                    math.inf if rec_lo.get("saturated") else float(rec_lo["latency"])
+                )
+                metrics = {
+                    "latency": latency,
+                    "throughput": float(rec_hi["throughput"]),
+                    "cost": design_cost(genome_config(base, pairs)),
+                }
+                new_entries.append(
+                    finish_entry(key, pairs, generation, "simulated", True, metrics)
+                )
+        append_entries(new_entries)
+
+    # ---- the generational loop -------------------------------------------
+    gen = make_generator(spec.seed, "explore")
+    population = init_population(gen, space, spec.population)
+    evaluate_generation(population, 0)
+    result.populations.append([genome_key(space, g) for g in population])
+    say(f"generation 0/{spec.generations}: population evaluated")
+    for g in range(1, spec.generations + 1):
+        objs = [
+            tuple(archive[genome_key(space, p)]["objectives"]) for p in population
+        ]
+        offspring = make_offspring(
+            gen, population, objs, space, spec.population,
+            crossover_rate=spec.crossover_rate,
+            mutation_rate=spec.mutation_rate,
+        )
+        evaluate_generation(offspring, g)
+        combined = list(population) + offspring
+        combined_objs = [
+            tuple(archive[genome_key(space, p)]["objectives"]) for p in combined
+        ]
+        keep = nsga2_select(combined_objs, spec.population)
+        population = [combined[i] for i in keep]
+        result.populations.append([genome_key(space, p) for p in population])
+        say(f"generation {g}/{spec.generations}: {result.summary()}")
+
+    # ---- the front: feasible, simulated, non-dominated, deduplicated -----
+    result.archive = [archive[key] for key in order]
+    candidates = [
+        e for e in result.archive if e["feasible"] and e["source"] == "simulated"
+    ]
+    vectors = [tuple(e["objectives"]) for e in candidates]
+    front_entries = [candidates[i] for i in pareto_front(vectors)]
+    front_entries.sort(key=lambda e: (tuple(e["objectives"]), e["key"]))
+    for e in front_entries:
+        rec: dict[str, Any] = {str(n): v for n, v in e["genome"]}
+        rec.update(e["metrics"])
+        rec["objectives"] = list(e["objectives"])
+        rec["key"] = e["key"]
+        rec["generation"] = e["generation"]
+        result.front.append(rec)
+    return result
+
+
+def _bound_runner(spec: ExploreSpec):
+    """The runner with measurement windows bound as keywords.
+
+    ``functools.partial`` over the module-level :func:`explore_runner`
+    keeps the runner picklable for the process pool *and* importable by
+    name for the remote service (the client re-binds keyword arguments on
+    the worker side).
+    """
+    import functools
+
+    return functools.partial(
+        explore_runner,
+        warmup=spec.warmup,
+        measure=spec.measure,
+        drain_limit=spec.drain_limit,
+    )

@@ -642,6 +642,17 @@ def run_sweep(
     pending = [p for p in points if p.index not in results]
     health = SweepHealth(total=len(points))
 
+    # Resumed journal entries are counted exactly once, HERE — before any
+    # cache prefill or replay runs.  The invariant the cache-hit summary
+    # depends on: ``pending`` excludes every resumed index, so a resumed
+    # point can never appear in ``cache_hit_records`` and be re-counted as
+    # a cache hit ("N/M cache hits" covers fresh points only).
+    for record in results.values():
+        if record.get("failed"):
+            health.failed += 1
+        else:
+            health.ok += 1
+
     # Cache lookup happens before dispatch: hits never touch the pool.
     # Misses remember their key so ``emit`` can write back on success.
     store = result_cache.resolve_cache(cache)
@@ -679,6 +690,12 @@ def run_sweep(
 
     def emit(point: SweepPoint, record: dict[str, Any]) -> None:
         nonlocal completed_in_run
+        if point.index in results:
+            # A record for this index was already accounted (journal
+            # resume, or a duplicate replay): emitting again would
+            # double-count ok/failed and the "N/M cache hits" summary.
+            # Mirrors the service controller's ``_emit`` guard.
+            return
         results[point.index] = record
         completed_in_run += 1
         if record.get("failed"):
@@ -716,13 +733,6 @@ def run_sweep(
                     eta=left / rate if rate > 0 else float("inf"),
                 )
             )
-
-    # Resumed journal entries count toward the health totals too.
-    for record in results.values():
-        if record.get("failed"):
-            health.failed += 1
-        else:
-            health.ok += 1
 
     # Replay cache hits through ``emit`` so the journal, progress callback,
     # and health counters see them exactly like freshly computed points.

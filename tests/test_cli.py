@@ -268,6 +268,68 @@ class TestFaultFlags:
             NetworkConfig(topology="ideal", faults="links:1")
 
 
+class TestExploreCLI:
+    """The `repro explore` subcommand (NSGA-II design-space search)."""
+
+    # Quick profile shrunk via --gene overrides: 2x1x1x2x1 = 4 genomes.
+    TINY = [
+        "explore", "--quick", "--population", "4", "--generations", "1",
+        "--gene", "topology=mesh,torus", "--gene", "num-vcs=2",
+        "--gene", "vc-buffer-size=2", "--gene", "routing=dor,val",
+        "--gene", "arbitration=round_robin",
+        "--warmup", "80", "--measure", "160", "--drain", "1600",
+    ]
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["explore", "--quick", "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_check_requires_quick(self, capsys):
+        assert main(["explore", "--check"]) == 2
+        assert "--check requires --quick" in capsys.readouterr().err
+
+    def test_bad_gene_exits_2(self, capsys):
+        rc = main(["explore", "--quick", "--gene", "topology=hypercube"])
+        assert rc == 2
+        assert "explore error" in capsys.readouterr().err
+
+    def test_bad_objectives_exit_2(self, capsys):
+        rc = main(["explore", "--quick", "--objectives", "latency,power"])
+        assert rc == 2
+        assert "objectives" in capsys.readouterr().err
+
+    def test_tiny_explore_end_to_end(self, capsys, tmp_path):
+        journal = tmp_path / "explore.jsonl"
+        out = tmp_path / "out"
+        rc = main(
+            self.TINY
+            + ["--journal", str(journal), "--cache", str(tmp_path / "cache"),
+               "--out", str(out)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "latency" in captured.out and "cost" in captured.out
+        assert "explore:" in captured.err
+        # Journal carries the fingerprint header + one line per genome.
+        entries = read_jsonl(journal)
+        assert "fingerprint" in entries[0]["sweep"]
+        assert entries[0]["sweep"]["explore"]["population"] == 4
+        keys = [e["key"] for e in entries[1:]]
+        assert keys and len(keys) == len(set(keys))
+        # Artifacts: one JSON record per front design, plus the figure.
+        front = read_jsonl(out / "explore_front.jsonl")
+        assert front and all("objectives" in r for r in front)
+        assert "pareto front" in (out / "explore_front.txt").read_text()
+
+    def test_same_seed_same_front_table(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(self.TINY + ["--cache", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(self.TINY + ["--cache", cache]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+
 class TestErrorBoundarySubprocess:
     def test_value_error_is_one_line_exit_2(self):
         """Acceptance: a config mistake prints one line and exits 2."""
